@@ -1,0 +1,32 @@
+"""Benchmark-harness configuration.
+
+Every paper table and figure has a bench below this directory; run
+
+    pytest benchmarks/ --benchmark-only
+
+Scale is controlled by the REPRO_SCALE environment variable
+('bench' default, 'small', 'default'); generated CA model libraries are
+cached under .cache/ so only the first run pays the conventional
+generation cost.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default=None,
+        help="override experiment scale (bench/small/default)",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    import os
+
+    return (
+        request.config.getoption("--repro-scale")
+        or os.environ.get("REPRO_SCALE", "bench")
+    )

@@ -1,0 +1,25 @@
+"""Section V.B benches: accuracy bands and failure-cause attribution."""
+
+import pytest
+
+from repro.experiments.analysis import accuracy_bands
+from repro.flow.structure import EQUIVALENT, IDENTICAL, NONE
+
+
+def _once(benchmark, fn, *args, **kwargs):
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("eval_tech", ["c28", "c40"])
+def test_accuracy_bands(benchmark, scale, eval_tech):
+    report = _once(benchmark, accuracy_bands, eval_tech, scale)
+    print("\n" + report.render())
+    # the paper's V.B structure: the majority of cells clear 97 %, and
+    # structurally supported cells do better than unsupported ones
+    assert report.fraction_above > 0.5
+    if IDENTICAL in report.by_match and NONE in report.by_match:
+        identical_mean = report.by_match[IDENTICAL][1]
+        none_mean = report.by_match[NONE][1]
+        assert identical_mean > none_mean
+    if IDENTICAL in report.by_match:
+        assert report.by_match[IDENTICAL][1] > 0.99

@@ -1,0 +1,82 @@
+"""Extension bench: relaxed structural analysis (the paper's future work).
+
+Section V.C: "there is still room for further improvement of the
+structural analysis".  The relaxed similarity router admits more cells to
+the ML path than the strict identical/equivalent analysis; this bench
+verifies it raises ML coverage (and the total time reduction) without
+collapsing prediction quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camodel import generate_ca_model
+from repro.flow import HybridFlow
+from repro.learning import build_samples
+from repro.library import C40, SOI28, build_library
+
+
+@pytest.fixture(scope="module")
+def setup():
+    train_library = build_library(
+        SOI28,
+        functions=("NAND2", "NOR2", "AND2", "OR2", "AOI21", "OAI21"),
+        drives=(1, 2),
+        flavors=SOI28.flavors[:2],
+    )
+    train = build_samples(
+        [(c, generate_ca_model(c, params=SOI28.electrical)) for c in train_library],
+        SOI28.electrical,
+    )
+    target_library = build_library(
+        C40,
+        functions=("NAND2", "NOR2", "AND2", "AOI21", "NAND2B", "NOR2B", "XOR2"),
+        drives=(1, 2),
+        flavors=C40.flavors[:1],
+    )
+    references = {
+        c.name: generate_ca_model(c, params=C40.electrical) for c in target_library
+    }
+    return train, target_library, references
+
+
+def _run(train, cells, references, router):
+    flow = HybridFlow(
+        train, params=C40.electrical, router=router, similarity_threshold=0.45
+    )
+    return flow.run(list(cells), references=references)
+
+
+def test_relaxed_router_extends_ml_coverage(benchmark, setup):
+    train, target_library, references = setup
+
+    def run():
+        strict = _run(train, target_library, references, "strict")
+        relaxed = _run(train, target_library, references, "relaxed")
+        return strict, relaxed
+
+    strict, relaxed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    strict_ml = sum(1 for d in strict.decisions if d.route == "ml")
+    relaxed_ml = sum(1 for d in relaxed.decisions if d.route == "ml")
+    print(
+        f"\nML-routed cells: strict {strict_ml}/{len(strict.decisions)}, "
+        f"relaxed {relaxed_ml}/{len(relaxed.decisions)}"
+    )
+    assert relaxed_ml > strict_ml
+
+    # quality on the additionally admitted cells stays usable
+    extra = [
+        d for d in relaxed.decisions if d.match == "relaxed" and d.accuracy is not None
+    ]
+    assert extra
+    mean_extra = float(np.mean([d.accuracy for d in extra]))
+    print(f"mean accuracy of relaxed-admitted cells: {mean_extra:.4f}")
+    assert mean_extra > 0.8
+
+    # and the total time reduction improves
+    print(
+        f"total reduction: strict {strict.ledger.total_reduction:.3f}, "
+        f"relaxed {relaxed.ledger.total_reduction:.3f}"
+    )
+    assert relaxed.ledger.total_reduction > strict.ledger.total_reduction

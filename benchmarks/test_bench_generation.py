@@ -1,0 +1,49 @@
+"""Fig. 1 bench: conventional CA model generation throughput.
+
+Measures what the paper is trying to avoid — the per-cell cost of
+simulating every defect against every stimulus — across cell sizes.
+"""
+
+import pytest
+
+from repro.camodel import generate_ca_model
+from repro.library import SOI28, build_cell
+
+
+@pytest.mark.parametrize(
+    "function,drive",
+    [("INV", 1), ("NAND2", 1), ("AOI21", 1), ("AOI22", 1), ("XOR2", 1), ("NAND2", 4)],
+    ids=lambda v: str(v),
+)
+def test_conventional_generation(benchmark, function, drive):
+    cell = build_cell(SOI28, function, drive)
+    model = benchmark.pedantic(
+        generate_ca_model,
+        args=(cell,),
+        kwargs={"params": SOI28.electrical},
+        rounds=1,
+        iterations=1,
+    )
+    assert model.n_defects == 10 * cell.n_transistors
+    assert model.coverage() > 0.05
+    print(
+        f"\n{cell.name}: {model.simulation_count} simulations, "
+        f"{model.n_defects} defects -> {len(model.equivalence())} classes, "
+        f"coverage {model.coverage():.2%}"
+    )
+
+
+def test_golden_simulation_throughput(benchmark):
+    """The golden pass alone (used by active/passive identification)."""
+    from repro.camodel import stimuli
+    from repro.simulation import CellSimulator
+
+    cell = build_cell(SOI28, "AOI22", 1)
+    words = stimuli(cell.n_inputs, "exhaustive")
+
+    def run():
+        sim = CellSimulator(cell, params=SOI28.electrical)
+        return [sim.output_response(w) for w in words]
+
+    responses = benchmark(run)
+    assert len(responses) == 256

@@ -1,0 +1,44 @@
+"""Section V.C / Fig. 7 bench: the hybrid generation flow on C40.
+
+Paper reference points: roughly half of the C40 cells clear the structural
+analysis (29 % identical + 21 % equivalent), the ML-covered half saves
+99.7 % of its SPICE time, the overall saving is substantial, and ML would
+actually have predicted *more* cells well than the structural analysis
+admits (~80 % vs 50 %).
+"""
+
+from repro.experiments.hybrid_study import hybrid_flow_study
+from repro.flow.structure import EQUIVALENT, IDENTICAL, NONE
+
+
+def test_hybrid_flow_study(benchmark, scale):
+    result = benchmark.pedantic(
+        hybrid_flow_study, args=(scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    report = result.report
+    fractions = report.fractions()
+
+    # all three routes exercised, with a substantial simulated share
+    assert fractions[IDENTICAL] > 0.1
+    assert fractions[EQUIVALENT] > 0.1
+    assert 0.05 < fractions[NONE] < 0.7
+
+    # ML-covered side: the paper's 99.7 % reduction figure
+    assert report.ledger.ml_side_reduction > 0.99
+    # overall: meaningful savings, bounded by the simulated share
+    assert 0.1 < report.ledger.total_reduction < 1.0
+
+    # ML predictions routed by the structural analysis are good
+    accuracies = [d.accuracy for d in report.decisions if d.route == "ml"]
+    assert sum(a > 0.9 for a in accuracies) / len(accuracies) > 0.8
+
+    # Routing calibration (our sharper counterpart of the paper's V.C
+    # observation): the cells the structural analysis admits must predict
+    # strictly better than the cells it routes to simulation would have.
+    # (The paper's analysis under-admitted — 50 % cleared vs 80 % viable;
+    # ours is calibrated, see EXPERIMENTS.md.)
+    assert result.ml_viable_fraction is not None
+    if result.uncleared_viable_fraction is not None:
+        admitted_mean = sum(accuracies) / len(accuracies)
+        assert admitted_mean > result.uncleared_mean_accuracy + 0.02

@@ -1,0 +1,101 @@
+"""Learning benches: the Section II.B algorithm comparison and RF cost.
+
+The paper picked Random Forest "after experimenting several learning
+algorithms (k-NN, Support Vector Machine, Random Forest, Linear, Ridge,
+etc.) and observing their inference accuracies"; this bench reruns that
+comparison on a real group and checks that Random Forest wins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camodel import generate_ca_model
+from repro.learning import (
+    KNeighborsClassifier,
+    LinearSVC,
+    LogisticRegression,
+    RandomForestClassifier,
+    RidgeClassifier,
+    accuracy_score,
+    build_samples,
+    sample_rows,
+    stack_group,
+)
+from repro.library import SOI28, build_cell
+
+
+@pytest.fixture(scope="module")
+def group_data():
+    cells = [
+        build_cell(SOI28, fn, 1, flavor)
+        for fn in ("NAND2", "NOR2")
+        for flavor in SOI28.flavors
+    ]
+    samples = build_samples(
+        [(c, generate_ca_model(c, params=SOI28.electrical)) for c in cells],
+        SOI28.electrical,
+    )
+    held_out = samples[0]
+    train = samples[1:]
+    X, y = stack_group(train)
+    X_eval, y_eval = sample_rows(held_out)
+    return X, y, X_eval, y_eval
+
+
+ALGORITHMS = {
+    "random_forest": lambda: RandomForestClassifier(
+        n_estimators=8, max_features=0.5, random_state=0
+    ),
+    "knn": lambda: KNeighborsClassifier(n_neighbors=3),
+    "ridge": lambda: RidgeClassifier(),
+    "logistic": lambda: LogisticRegression(n_iterations=200),
+    "linear_svm": lambda: LinearSVC(n_iterations=800, random_state=0),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_algorithm_comparison(benchmark, group_data, name):
+    X, y, X_eval, y_eval = group_data
+
+    def run():
+        clf = ALGORITHMS[name]()
+        clf.fit(X, y)
+        return accuracy_score(y_eval, clf.predict(X_eval))
+
+    accuracy = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{name}: held-out accuracy {accuracy:.4f}")
+    if name == "random_forest":
+        assert accuracy > 0.98
+    else:
+        assert accuracy > 0.5
+
+
+def test_random_forest_wins(group_data):
+    """The paper's model-selection conclusion."""
+    X, y, X_eval, y_eval = group_data
+    scores = {}
+    for name, factory in ALGORITHMS.items():
+        clf = factory()
+        clf.fit(X, y)
+        scores[name] = accuracy_score(y_eval, clf.predict(X_eval))
+    best = max(scores, key=scores.get)
+    print("\n" + "\n".join(f"  {k}: {v:.4f}" for k, v in sorted(scores.items())))
+    assert scores["random_forest"] >= max(
+        v for k, v in scores.items() if k != "random_forest"
+    ) - 1e-9
+
+
+def test_forest_fit_predict(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.integers(0, 4, size=(40_000, 60)).astype(np.int8)
+    y = ((X[:, 0] > 1) & (X[:, 30] == 0)).astype(int)
+
+    def run():
+        clf = RandomForestClassifier(
+            n_estimators=8, max_features=0.5, random_state=0
+        )
+        clf.fit(X[:30_000], y[:30_000])
+        return accuracy_score(y[30_000:], clf.predict(X[30_000:]))
+
+    accuracy = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert accuracy > 0.99

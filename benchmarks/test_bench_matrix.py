@@ -1,0 +1,36 @@
+"""Figs. 2/3 benches: CA-matrix creation pipeline throughput
+(rewrite -> activity identification -> renaming -> matrix)."""
+
+import pytest
+
+from repro.camatrix import build_matrix, rename_transistors
+from repro.camodel import generate_ca_model
+from repro.library import SOI28, build_cell
+
+
+@pytest.fixture(scope="module")
+def aoi22_with_model():
+    cell = build_cell(SOI28, "AOI22", 1)
+    model = generate_ca_model(cell, params=SOI28.electrical)
+    return cell, model
+
+
+def test_transistor_renaming(benchmark):
+    cell = build_cell(SOI28, "AOI22", 2)
+    renamed = benchmark(rename_transistors, cell, SOI28.electrical)
+    assert len(renamed.mapping) == cell.n_transistors
+
+
+def test_matrix_creation(benchmark, aoi22_with_model):
+    cell, model = aoi22_with_model
+    matrix = benchmark(
+        build_matrix, cell, model=model, params=SOI28.electrical
+    )
+    assert matrix.labels is not None
+    assert matrix.n_rows == (model.n_defects + 1) * model.n_stimuli
+
+
+def test_inference_matrix_creation(benchmark):
+    cell = build_cell(SOI28, "AOI21", 1)
+    matrix = benchmark(build_matrix, cell, params=SOI28.electrical)
+    assert matrix.labels is None

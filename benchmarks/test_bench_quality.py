@@ -1,0 +1,82 @@
+"""Test-quality bench: predicted CA models judged in escape terms.
+
+Row accuracy (Table IV) is the paper's metric; what a test engineer
+ultimately cares about is whether a *predicted* CA model loses detections
+(test escapes) or invents them (overkill), and whether patterns selected
+from the prediction still cover the real (simulated) defect behaviour.
+This bench runs the cross-technology prediction and reports those
+quality numbers for structurally supported cells.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camodel import generate_ca_model
+from repro.camodel.compare import LibraryDiff, compare_models
+from repro.camatrix import inference_matrix
+from repro.defects import defect_weights, weighted_coverage
+from repro.learning import build_samples, default_classifier_factory, stack_group
+from repro.library import C28, SOI28, build_cell
+
+
+@pytest.fixture(scope="module")
+def predicted_and_reference():
+    train_cells = [
+        build_cell(SOI28, fn, 1, flavor)
+        for fn in ("NAND2", "NOR2")
+        for flavor in SOI28.flavors
+    ]
+    samples = build_samples(
+        [(c, generate_ca_model(c, params=SOI28.electrical)) for c in train_cells],
+        SOI28.electrical,
+    )
+    X, y = stack_group(samples)
+    clf = default_classifier_factory()()
+    clf.fit(X, y)
+
+    out = []
+    for fn in ("NAND2", "NOR2"):
+        cell = build_cell(C28, fn, 1)
+        reference = generate_ca_model(cell, params=C28.electrical)
+        matrix = inference_matrix(cell, C28.electrical)
+        predicted = matrix.to_model(clf.predict(matrix.features))
+        out.append((cell, reference, predicted))
+    return out
+
+
+def test_escape_and_overkill_rates(benchmark, predicted_and_reference):
+    def run():
+        diff = LibraryDiff()
+        for _cell, reference, predicted in predicted_and_reference:
+            diff.add(compare_models(reference, predicted))
+        return diff
+
+    library_diff = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = library_diff.summary()
+    print("\n" + "\n".join(f"  {k}: {v}" for k, v in summary.items()))
+    # structurally supported cross-technology predictions barely leak
+    assert summary["mean_escape_rate"] < 0.05
+    assert summary["mean_overkill_rate"] < 0.05
+    # and patterns chosen from the prediction still test the real cell
+    assert summary["mean_pattern_coverage"] > 0.95
+
+
+def test_weighted_coverage_of_predictions(benchmark, predicted_and_reference):
+    def run():
+        rows = []
+        for cell, reference, predicted in predicted_and_reference:
+            weights = defect_weights(cell, reference.defects)
+            rows.append(
+                (
+                    cell.name,
+                    weighted_coverage(reference.detection, weights),
+                    weighted_coverage(predicted.detection, weights),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\ncell                reference  predicted (likelihood-weighted coverage)")
+    for name, ref_cov, pred_cov in rows:
+        print(f"{name:<18} {ref_cov:9.4f}  {pred_cov:9.4f}")
+        assert abs(ref_cov - pred_cov) < 0.05

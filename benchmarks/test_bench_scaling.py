@@ -1,0 +1,72 @@
+"""Scaling bench: the cost curve motivating the paper.
+
+"The generation time of CA models for complete standard cell libraries of
+a given technology may reach up to several months" — the cost grows as
+(defects x stimuli) = O(T * 4^n).  This bench measures the measured
+per-cell generation time and simulation count across cell sizes and
+checks the growth shape.
+"""
+
+import time
+
+import pytest
+
+from repro.camodel import generate_ca_model
+from repro.camodel.stats import library_stats
+from repro.library import SOI28, build_cell
+
+LADDER = [
+    ("INV", 1),      # 2 transistors, 1 input
+    ("NAND2", 1),    # 4 transistors
+    ("AOI21", 1),    # 6 transistors, 3 inputs
+    ("AOI22", 1),    # 8 transistors, 4 inputs
+    ("NAND2", 4),    # 16 transistors (high drive)
+    ("XOR2", 2),     # 20 transistors, multi-stage
+]
+
+
+def test_generation_scaling(benchmark):
+    def run():
+        rows = []
+        for function, drive in LADDER:
+            cell = build_cell(SOI28, function, drive)
+            started = time.perf_counter()
+            model = generate_ca_model(cell, params=SOI28.electrical)
+            rows.append(
+                (
+                    cell.name,
+                    cell.n_transistors,
+                    model.simulation_count,
+                    time.perf_counter() - started,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\ncell                 T   simulations   seconds")
+    for name, n_tr, sims, seconds in rows:
+        print(f"{name:<18} {n_tr:>3}   {sims:>10}   {seconds:7.2f}")
+
+    # the simulation count grows with transistor count (same input count)
+    by_name = {name: (n_tr, sims) for name, n_tr, sims, _s in rows}
+    assert by_name["S28_NAND2X4"][1] > by_name["S28_NAND2X1"][1]
+    # and explodes with input count (4^n stimuli)
+    assert by_name["S28_AOI22X1"][1] > by_name["S28_AOI21X1"][1]
+
+
+def test_library_stats_shape(benchmark):
+    def run():
+        pairs = []
+        for function, drive in LADDER[:4]:
+            cell = build_cell(SOI28, function, drive)
+            pairs.append(
+                (cell, generate_ca_model(cell, params=SOI28.electrical))
+            )
+        return library_stats(pairs)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = stats.simulations_by_size()
+    print("\n(transistors, mean simulations):", series)
+    values = [v for _s, v in series]
+    assert values == sorted(values)  # monotone in cell size here
+    assert stats.redundancy() > 0.3  # CA universes are highly redundant

@@ -1,0 +1,57 @@
+"""Benches for the paper's illustrative tables/figures (I, II, III, 4, 5, 6).
+
+These regenerate the exact artifacts shown in the paper for the NAND2 /
+Fig. 5 examples and check the values the paper prints.
+"""
+
+from repro.experiments import (
+    fig4_partial_matrix,
+    fig5_branch_equations,
+    fig6_equivalence_demo,
+    table1_training_rows,
+    table2_activity,
+    table3_defect_columns,
+)
+
+
+def test_table1_training_rows(benchmark):
+    text = benchmark(table1_training_rows)
+    assert "free" in text and "detect" in text
+    print("\n" + text)
+
+
+def test_table2_activity(benchmark):
+    text = benchmark(table2_activity)
+    # the paper's NAND2 activity values: N0=3, N1=5, P0=10, P1=12
+    lines = {line.split()[-1]: line for line in text.splitlines() if "mos" in line}
+    assert "3" in lines["N0"] and "5" in lines["N1"]
+    assert "10" in lines["P0"] and "12" in lines["P1"]
+    print("\n" + text)
+
+
+def test_table3_defect_columns(benchmark):
+    text = benchmark(table3_defect_columns)
+    assert "source-drain short on P1" in text
+    assert "net0 & P0-source short" in text
+    print("\n" + text)
+
+
+def test_fig4_partial_matrix(benchmark):
+    text = benchmark(fig4_partial_matrix)
+    assert "RESP" in text
+    print("\n" + text)
+
+
+def test_fig5_branch_equations(benchmark):
+    text = benchmark(fig5_branch_equations)
+    # the paper's anonymized pull-down contribution of the Fig. 5 network
+    assert "((1n|1n)&1n)" in text
+    assert "(1n|1p)" in text  # the output inverter
+    print("\n" + text)
+
+
+def test_fig6_equivalent_configurations(benchmark):
+    text = benchmark(fig6_equivalence_demo)
+    rows = [l for l in text.splitlines() if l.startswith(("soi28", "c40"))]
+    assert len({row.split()[-1] for row in rows}) == 1
+    print("\n" + text)

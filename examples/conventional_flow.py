@@ -1,0 +1,64 @@
+"""Fig. 1 — the conventional (simulation-based) CA generation flow.
+
+Characterizes one cell exhaustively: enumerates its defect universe,
+simulates every defect against every stimulus, prints the detection table,
+the defect equivalence classes and the static/dynamic/undetected split.
+
+Run:  python examples/conventional_flow.py [FUNCTION] [DRIVE]
+"""
+
+import sys
+
+from repro.camodel import generate_ca_model
+from repro.defects import collapse_ratio
+from repro.library import SOI28, build_cell
+from repro.logic import word_to_string
+
+
+def main(function: str = "AOI21", drive: int = 1) -> None:
+    cell = build_cell(SOI28, function, drive)
+    print(f"cell {cell.name}: {cell.n_inputs} inputs, {cell.n_transistors} transistors")
+
+    model = generate_ca_model(cell, params=SOI28.electrical, keep_responses=True)
+    print(
+        f"simulated {model.simulation_count} (defect, stimulus) pairs in "
+        f"{model.generation_seconds:.2f}s"
+    )
+    summary = model.summary()
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+
+    # detection table, one row per defect equivalence class
+    classes = model.equivalence()
+    print(
+        f"\n{model.n_defects} defects collapse into {len(classes)} equivalence "
+        f"classes ({collapse_ratio(classes, model.n_defects):.0%} redundant)"
+    )
+    stimuli = model.stimulus_strings()
+    print("\ndetection table (equivalence-class representatives):")
+    print("  stimuli: " + " ".join(stimuli[:16]) + (" ..." if len(stimuli) > 16 else ""))
+    for eq_class in classes[:12]:
+        row = "".join(str(v) for v in eq_class.detection[:16])
+        members = ",".join(eq_class.members[:4])
+        more = "..." if len(eq_class.members) > 4 else ""
+        kind = model.defect_type(eq_class.representative)
+        print(f"  {row}  [{kind:10}] {members}{more}")
+
+    # show one stuck-open style defect in detail
+    dynamic = [
+        d for d in model.defects if model.defect_type(d.name) == "dynamic"
+    ]
+    if dynamic:
+        defect = dynamic[0]
+        print(f"\nsequence-dependent defect: {defect.describe()}")
+        row = model.detection_row(defect.name)
+        detecting = [
+            word_to_string(model.stimuli[i]) for i in range(len(row)) if row[i]
+        ]
+        print(f"  detected only by two-pattern stimuli: {detecting[:8]}")
+
+
+if __name__ == "__main__":
+    fn = sys.argv[1] if len(sys.argv) > 1 else "AOI21"
+    drv = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    main(fn, drv)

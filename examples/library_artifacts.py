@@ -1,0 +1,72 @@
+"""Export every library artifact a downstream flow consumes.
+
+Builds a small 28SOI library and writes, into ``artifacts/``:
+
+* the SPICE netlists in the library's own dialect,
+* a DSPF-annotated netlist (layout-parasitic flavour) for one cell,
+* the functional Liberty (.lib) view,
+* a Verilog switch-level model file,
+* a UDFM fault-model file for a characterized cell,
+* a VCD waveform trace of a defective simulation.
+
+Run:  python examples/library_artifacts.py [OUTPUT_DIR]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.camodel import generate_ca_model, save_udfm
+from repro.library import SOI28, build_library, save_liberty
+from repro.simulation import CellSimulator, DefectEffect, capture, dump_vcd
+from repro.spice import annotate, to_verilog_library, write_library
+
+
+def main(output_dir: str = "artifacts") -> None:
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    library = build_library(
+        SOI28,
+        functions=("INV", "NAND2", "NOR2", "AOI21", "HA1"),
+        drives=(1, 2),
+        flavors=SOI28.flavors[:1],
+    )
+    print(f"built {len(library)} cells of {library.name}")
+
+    spice_path = out / f"{library.name}.sp"
+    spice_path.write_text(
+        write_library(list(library), SOI28.dialect, title=f"{library.name} cells")
+    )
+    print(f"wrote {spice_path}")
+
+    nand2 = library.cell("S28_NAND2X1")
+    dspf_path = out / "S28_NAND2X1.dspf.sp"
+    dspf_path.write_text(annotate(nand2))
+    print(f"wrote {dspf_path} (parasitic-annotated)")
+
+    liberty_path = save_liberty(library, out / f"{library.name}.lib")
+    print(f"wrote {liberty_path}")
+
+    verilog_path = out / f"{library.name}.v"
+    verilog_path.write_text(to_verilog_library(list(library)))
+    print(f"wrote {verilog_path}")
+
+    model = generate_ca_model(nand2, params=SOI28.electrical)
+    udfm_path = save_udfm(model, out / "S28_NAND2X1.udfm")
+    print(
+        f"wrote {udfm_path} ({model.n_defects} defects, "
+        f"{len(model.equivalence())} classes)"
+    )
+
+    # a defective waveform: stuck-open NMOS under a two-pattern sequence
+    bottom = next(t for t in nand2.transistors if t.is_nmos and t.source == "VSS")
+    faulty = CellSimulator(
+        nand2, SOI28.electrical, DefectEffect(removed=frozenset({bottom.name}))
+    )
+    trace = capture(faulty, [(0, 1), (1, 1), (0, 1), (1, 1)])
+    vcd_path = dump_vcd(trace, out / "S28_NAND2X1_stuck_open.vcd")
+    print(f"wrote {vcd_path} (Z stays {trace.of('Z')[-1]} instead of falling)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "artifacts")

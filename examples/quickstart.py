@@ -1,0 +1,68 @@
+"""Quickstart: predict a cell's CA model without simulating its defects.
+
+Walks the whole methodology on a NAND2:
+
+1. build a transistor-level cell and print its SPICE netlist;
+2. generate CA models conventionally for a few training cells (the only
+   simulation-heavy step);
+3. rewrite everything into CA-matrices with canonical transistor renaming;
+4. train a Random Forest and predict the CA model of an unseen cell from a
+   *different* technology;
+5. compare against the conventionally generated reference.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.camatrix import inference_matrix, training_matrix
+from repro.camodel import generate_ca_model
+from repro.learning import RandomForestClassifier, accuracy_score, stack_group
+from repro.learning.datasets import CellSample
+from repro.library import C28, SOI28, build_cell
+from repro.spice import write_cell
+
+
+def main() -> None:
+    # -- 1. the cell zoo ------------------------------------------------
+    training_cells = [build_cell(SOI28, "NAND2", 1, f) for f in SOI28.flavors]
+    new_cell = build_cell(C28, "NAND2", 1)  # other technology, other dialect
+    print("A training cell (28SOI dialect):\n")
+    print(write_cell(training_cells[0], SOI28.dialect))
+    print("The cell to characterize (C28 dialect):\n")
+    print(write_cell(new_cell, C28.dialect))
+
+    # -- 2. conventional generation for the training set ----------------
+    samples = []
+    for cell in training_cells:
+        model = generate_ca_model(cell, params=SOI28.electrical)
+        matrix = training_matrix(cell, model, SOI28.electrical)
+        samples.append(CellSample(cell=cell, model=model, matrix=matrix))
+        print(
+            f"generated {cell.name}: {model.n_defects} defects x "
+            f"{model.n_stimuli} stimuli, coverage {model.coverage():.2%}"
+        )
+
+    # -- 3./4. train and predict ----------------------------------------
+    X, y = stack_group(samples)
+    forest = RandomForestClassifier(n_estimators=8, max_features=0.5, random_state=0)
+    forest.fit(X, y)
+
+    matrix = inference_matrix(new_cell, C28.electrical)
+    predicted = forest.predict(matrix.features)
+    predicted_model = matrix.to_model(predicted)
+    print(f"\npredicted CA model for {new_cell.name} with zero defect simulations")
+
+    # -- 5. compare with the conventional flow --------------------------
+    reference = generate_ca_model(new_cell, params=C28.electrical)
+    agreement = (predicted_model.detection == reference.detection).mean()
+    print(f"detection-table agreement vs simulation: {agreement:.2%}")
+    print(f"reference coverage {reference.coverage():.2%}, "
+          f"predicted coverage {predicted_model.coverage():.2%}")
+    row_accuracy = accuracy_score(
+        training_matrix(new_cell, reference, C28.electrical).labels,
+        predicted,
+    )
+    print(f"per-row prediction accuracy: {row_accuracy:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Package metadata.
+
+Kept in setup.py (no pyproject.toml) deliberately: offline environments
+without the `wheel` package cannot take pip's PEP 517 editable path, while
+`pip install -e .` through the legacy setuptools path works everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Learning-based cell-aware model generation (DATE 2021 reproduction)"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "networkx"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "scipy"],
+    },
+)

@@ -1,0 +1,40 @@
+"""repro — learning-based cell-aware model generation (DATE 2021 repro).
+
+Subpackages
+-----------
+``repro.logic``
+    Four-valued stimulus algebra and Boolean expressions.
+``repro.spice``
+    SPICE/CDL netlist model, parser and writer.
+``repro.library``
+    Standard-cell synthesis, function catalog, synthetic technologies.
+``repro.simulation``
+    Switch-level cell simulation (the SPICE substitute).
+``repro.defects``
+    Cell-internal defect models, universes, equivalence classes.
+``repro.camodel``
+    CA model data structures and the conventional generation flow.
+``repro.camatrix``
+    The paper's core: CA-matrix construction and transistor renaming.
+``repro.learning``
+    From-scratch ML estimators and the paper's evaluation protocols.
+``repro.flow``
+    Structural analysis, the hybrid generation flow, the cost model.
+``repro.experiments``
+    One regenerator per paper table / figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "logic",
+    "spice",
+    "library",
+    "simulation",
+    "defects",
+    "camodel",
+    "camatrix",
+    "learning",
+    "flow",
+    "experiments",
+]

@@ -1,0 +1,60 @@
+"""CA-matrix construction: renaming, activity, encoding (paper core)."""
+
+from repro.camatrix.activity import activity_symbols, activity_values, gate_activity
+from repro.camatrix.branches import (
+    Branch,
+    BranchError,
+    EqLeaf,
+    EqNode,
+    EqParallel,
+    EqSeries,
+    extract_branches,
+    path_expression,
+    sp_reduce,
+)
+from repro.camatrix.pins import canonical_pin_order, pin_signature, reorder_word
+from repro.camatrix.rename import RenamedCell, rename_transistors
+from repro.camatrix.matrix import (
+    CAMatrix,
+    FREE_ROW,
+    build_matrix,
+    encode_activity,
+    encode_symbol,
+    matrix_columns,
+)
+from repro.camatrix.pipeline import (
+    group_matrices,
+    inference_matrix,
+    stack,
+    training_matrix,
+)
+
+__all__ = [
+    "activity_values",
+    "activity_symbols",
+    "gate_activity",
+    "Branch",
+    "BranchError",
+    "EqNode",
+    "EqLeaf",
+    "EqSeries",
+    "EqParallel",
+    "extract_branches",
+    "sp_reduce",
+    "path_expression",
+    "canonical_pin_order",
+    "pin_signature",
+    "reorder_word",
+    "RenamedCell",
+    "rename_transistors",
+    "CAMatrix",
+    "FREE_ROW",
+    "build_matrix",
+    "matrix_columns",
+    "encode_symbol",
+    "encode_activity",
+    "group_matrices",
+    "stack",
+    "training_matrix",
+    "inference_matrix",
+]

@@ -1,0 +1,87 @@
+"""Active / passive transistor identification (Section III.A and III.C).
+
+A transistor's *activity* under a stimulus is derived from the golden
+simulation of its gate net:
+
+* NMOS: active (1) when the gate is at logic 1, passive (0) at logic 0;
+  a rising gate is "switching to active" (R), a falling one "switching to
+  passive" (F).
+* PMOS: the opposite sense — the paper marks PMOS activity values with a
+  ``'-'`` prefix; numerically we invert the gate waveform so that 1 always
+  means conducting.
+
+The *activity value* (Section III.C) is the 2^n-bit integer whose MSB is
+the device's activity under stimulus (0,...,0) and whose LSB is the
+activity under (1,...,1): the tool the renaming step uses to disambiguate
+parallel transistors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.library.technology import ElectricalParams
+from repro.logic.fourval import V4
+from repro.camodel.stimuli import Word, static_words
+from repro.simulation.engine import CellSimulator
+from repro.spice.netlist import CellNetlist, Transistor
+
+
+def gate_activity(device: Transistor, gate_symbol: V4) -> V4:
+    """Activity symbol of *device* given its gate net's waveform symbol."""
+    return gate_symbol if device.is_nmos else gate_symbol.inverted
+
+
+def activity_symbols(
+    cell: CellNetlist,
+    words: Sequence[Word],
+    simulator: Optional[CellSimulator] = None,
+    params: Optional[ElectricalParams] = None,
+) -> Dict[str, List[V4]]:
+    """Per-device activity waveform for every stimulus word.
+
+    Uses a single golden simulation per word ("a single defect-free
+    (golden) electrical simulation of each cell", Section III.A).
+    """
+    sim = simulator or CellSimulator(cell, params=params)
+    out: Dict[str, List[V4]] = {t.name: [] for t in cell.transistors}
+    for word in words:
+        waveforms = sim.net_waveforms(word)
+        for t in cell.transistors:
+            out[t.name].append(gate_activity(t, waveforms[t.gate]))
+    return out
+
+
+def activity_values(
+    cell: CellNetlist,
+    simulator: Optional[CellSimulator] = None,
+    params: Optional[ElectricalParams] = None,
+    pin_order: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """The 2^n-bit activity value of every device (Table II of the paper).
+
+    Bit significance decreases with increasing binary value of the input
+    stimulus; "active" contributes a 1 only when the gate value is a
+    definite logic level (golden simulations of combinational cells never
+    produce X, so this is exact).
+
+    *pin_order* fixes which pin owns which stimulus bit (defaults to the
+    declared input order); cross-library invariance requires the canonical
+    pin order of :mod:`repro.camatrix.pins`.
+    """
+    import itertools
+
+    sim = simulator or CellSimulator(cell, params=params)
+    pins = list(pin_order) if pin_order is not None else list(cell.inputs)
+    if sorted(pins) != sorted(cell.inputs):
+        raise ValueError(f"pin_order {pins} does not match inputs {cell.inputs}")
+    position = {pin: i for i, pin in enumerate(pins)}
+    values: Dict[str, int] = {t.name: 0 for t in cell.transistors}
+    for bits in itertools.product((0, 1), repeat=len(pins)):
+        vector = tuple(bits[position[pin]] for pin in cell.inputs)
+        codes = sim.static_net_codes(vector)
+        for t in cell.transistors:
+            gate = codes[t.gate]
+            active = gate == 1 if t.is_nmos else gate == 0
+            values[t.name] = (values[t.name] << 1) | int(active)
+    return values

@@ -1,0 +1,452 @@
+"""Branch extraction and branch equations (Section III.B of the paper).
+
+A *branch* is a maximal group of transistors connected through their
+drain/source terminals (connectivity through non-rail nets only); its
+*exit* is the net the branch drives.  The *branch equation* describes how
+the branch's transistors connect between the exit and the power rails,
+with '&' for series and '|' for parallel composition; the *anonymized*
+equation replaces every NMOS by ``1n`` and every PMOS by ``1p``.
+
+Examples reproduced from the paper:
+
+* an output inverter has the equation ``(1n|1p)``;
+* the NMOS network ``(N0&(N1|N2))|N3`` of Fig. 5 anonymizes to
+  ``((1n&(1n|1n))|1n)`` as its pull-down contribution.
+
+Within '&'/'|' groups, operands are ordered canonically: primarily by
+their anonymized sub-equation, with ties between structurally identical
+operands (e.g. parallel transistors) broken by ascending activity value
+(Section III.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.spice.netlist import CellNetlist, Transistor
+
+
+class BranchError(ValueError):
+    """Raised when a cell's structure cannot be decomposed into branches."""
+
+
+# ----------------------------------------------------------------------
+# Equation nodes (leaves are devices)
+# ----------------------------------------------------------------------
+
+class EqNode:
+    """A branch-equation node."""
+
+    def devices(self) -> List[Transistor]:
+        """Devices in (current) traversal order."""
+        raise NotImplementedError
+
+    def anon(self) -> str:
+        """Canonical anonymized form ('1n'/'1p' leaves, sorted operands)."""
+        raise NotImplementedError
+
+    def canonical(self, activity: Mapping[str, int]) -> "EqNode":
+        """Operands sorted by (anonymized form, activity values)."""
+        raise NotImplementedError
+
+    def named(self, renaming: Optional[Mapping[str, str]] = None) -> str:
+        """Readable form with device names (optionally renamed)."""
+        raise NotImplementedError
+
+    def n_devices(self) -> int:
+        return len(self.devices())
+
+    def _sort_key(self, activity: Mapping[str, int]) -> Tuple:
+        return (self.anon(), tuple(activity[t.name] for t in self.devices()))
+
+
+@dataclass(frozen=True)
+class EqLeaf(EqNode):
+    """A single transistor."""
+
+    device: Transistor
+
+    def devices(self) -> List[Transistor]:
+        return [self.device]
+
+    def anon(self) -> str:
+        return "1n" if self.device.is_nmos else "1p"
+
+    def canonical(self, activity: Mapping[str, int]) -> "EqNode":
+        return self
+
+    def named(self, renaming: Optional[Mapping[str, str]] = None) -> str:
+        name = self.device.name
+        if renaming:
+            name = renaming.get(name, name)
+        return name
+
+
+class _EqGroup(EqNode):
+    symbol = "?"
+
+    def __init__(self, *children: EqNode):
+        flattened: List[EqNode] = []
+        for child in children:
+            if type(child) is type(self):
+                flattened.extend(child.children)  # type: ignore[attr-defined]
+            else:
+                flattened.append(child)
+        if len(flattened) < 2:
+            raise BranchError("equation group needs at least two operands")
+        self.children: Tuple[EqNode, ...] = tuple(flattened)
+
+    def devices(self) -> List[Transistor]:
+        out: List[Transistor] = []
+        for child in self.children:
+            out.extend(child.devices())
+        return out
+
+    def anon(self) -> str:
+        parts = sorted(child.anon() for child in self.children)
+        return "(" + self.symbol.join(parts) + ")"
+
+    def canonical(self, activity: Mapping[str, int]) -> "EqNode":
+        children = [child.canonical(activity) for child in self.children]
+        children.sort(key=lambda c: c._sort_key(activity))
+        return type(self)(*children)
+
+    def named(self, renaming: Optional[Mapping[str, str]] = None) -> str:
+        return (
+            "("
+            + self.symbol.join(child.named(renaming) for child in self.children)
+            + ")"
+        )
+
+
+class EqSeries(_EqGroup):
+    """Series composition ('&')."""
+
+    symbol = "&"
+
+
+class EqParallel(_EqGroup):
+    """Parallel composition ('|')."""
+
+    symbol = "|"
+
+
+def min_conduction_path(node: EqNode) -> int:
+    """Fewest devices that must conduct for *node* to conduct."""
+    if isinstance(node, EqLeaf):
+        return 1
+    if isinstance(node, EqSeries):
+        return sum(min_conduction_path(c) for c in node.children)
+    return min(min_conduction_path(c) for c in node.children)
+
+
+def leaf_descriptors(node: EqNode) -> Dict[str, Tuple[int, int]]:
+    """Per-device (stack depth, parallel width) structural descriptors.
+
+    *stack depth* is the length of the shortest conducting path through
+    the device.  *parallel width* is the number of structurally identical
+    parallel copies along the device's path: at every parallel group on
+    the way down, the width multiplies by how many siblings share the
+    anonymized form of the subtree being entered.
+
+    The pair separates cells that the raw activity columns cannot (a
+    NAND2's and a NOR2's rows can otherwise coincide feature-for-feature
+    with opposite labels), while being *identical* across the merged and
+    split drive configurations of Fig. 6 — so that equivalence keeps
+    transferring across libraries.
+    """
+    out: Dict[str, Tuple[int, int]] = {}
+
+    def walk(n: EqNode, series_extra: int, width: int) -> None:
+        if isinstance(n, EqLeaf):
+            out[n.device.name] = (1 + series_extra, width)
+            return
+        if isinstance(n, EqSeries):
+            totals = [min_conduction_path(c) for c in n.children]
+            whole = sum(totals)
+            for child, own in zip(n.children, totals):
+                walk(child, series_extra + whole - own, width)
+            return
+        # Parallel group: multiply width by the count of structurally
+        # identical siblings of each entered subtree.
+        anon_counts: Dict[str, int] = {}
+        for child in n.children:
+            key = child.anon()
+            anon_counts[key] = anon_counts.get(key, 0) + 1
+        for child in n.children:
+            walk(child, series_extra, width * anon_counts[child.anon()])
+
+    walk(node, 0, 1)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Two-terminal series-parallel reduction
+# ----------------------------------------------------------------------
+
+def sp_reduce(
+    devices: Sequence[Transistor], source: str, target: str
+) -> Optional[EqNode]:
+    """Reduce the channel network of *devices* between two nets.
+
+    Returns the equation of the network between *source* and *target*, or
+    None when the network is not series-parallel (callers fall back to
+    path enumeration).
+    """
+    edges: List[Tuple[str, str, EqNode]] = [
+        (t.drain, t.source, EqLeaf(t)) for t in devices
+    ]
+    while True:
+        changed = False
+        # Parallel: merge multi-edges between the same net pair.
+        buckets: Dict[frozenset, List[int]] = {}
+        for i, (u, v, _e) in enumerate(edges):
+            if u != v:
+                buckets.setdefault(frozenset((u, v)), []).append(i)
+        for indices in buckets.values():
+            if len(indices) > 1:
+                u, v, _ = edges[indices[0]]
+                merged = EqParallel(*(edges[i][2] for i in indices))
+                edges = [e for i, e in enumerate(edges) if i not in set(indices)]
+                edges.append((u, v, merged))
+                changed = True
+                break
+        if changed:
+            continue
+        # Series: contract internal nodes of degree exactly two.
+        degree: Dict[str, List[int]] = {}
+        for i, (u, v, _e) in enumerate(edges):
+            degree.setdefault(u, []).append(i)
+            degree.setdefault(v, []).append(i)
+        for node, incident in degree.items():
+            if node in (source, target) or len(incident) != 2:
+                continue
+            i, j = incident
+            if i == j:
+                continue
+            u1, v1, e1 = edges[i]
+            u2, v2, e2 = edges[j]
+            far1 = v1 if u1 == node else u1
+            far2 = v2 if u2 == node else u2
+            merged_edge = (far1, far2, EqSeries(e1, e2))
+            edges = [e for k, e in enumerate(edges) if k not in (i, j)]
+            edges.append(merged_edge)
+            changed = True
+            break
+        if changed:
+            continue
+        break
+
+    live = [(u, v, e) for u, v, e in edges if u != v]
+    if len(live) == 1 and {live[0][0], live[0][1]} == {source, target}:
+        return live[0][2]
+    return None
+
+
+def path_expression(
+    devices: Sequence[Transistor], source: str, target: str
+) -> Optional[EqNode]:
+    """Fallback equation: OR over simple conduction paths (non-SP networks).
+
+    A device can appear on several paths; callers that need each device
+    exactly once (renaming) deduplicate by first traversal occurrence.
+    """
+    adjacency: Dict[str, List[Tuple[str, Transistor]]] = {}
+    for t in devices:
+        adjacency.setdefault(t.drain, []).append((t.source, t))
+        adjacency.setdefault(t.source, []).append((t.drain, t))
+
+    paths: List[List[Transistor]] = []
+
+    def walk(node: str, seen_nets: Set[str], seen_devs: Set[str], trail: List[Transistor]):
+        if node == target:
+            paths.append(list(trail))
+            return
+        for neighbor, device in adjacency.get(node, ()):
+            if neighbor in seen_nets or device.name in seen_devs:
+                continue
+            trail.append(device)
+            walk(neighbor, seen_nets | {neighbor}, seen_devs | {device.name}, trail)
+            trail.pop()
+
+    walk(source, {source}, set(), [])
+    if not paths:
+        return None
+    terms: List[EqNode] = []
+    for path in paths:
+        if len(path) == 1:
+            terms.append(EqLeaf(path[0]))
+        else:
+            terms.append(EqSeries(*(EqLeaf(t) for t in path)))
+    if len(terms) == 1:
+        return terms[0]
+    return EqParallel(*terms)
+
+
+# ----------------------------------------------------------------------
+# Branch extraction
+# ----------------------------------------------------------------------
+
+@dataclass
+class Branch:
+    """One branch of a cell, with its equation and sorting metadata."""
+
+    devices: List[Transistor]
+    exit_net: str
+    equation: EqNode
+    level: int = 0
+    index: int = -1
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def anon(self) -> str:
+        return self.equation.anon()
+
+
+def _channel_groups(cell: CellNetlist) -> List[List[Transistor]]:
+    """Partition devices into channel-connected groups (rails excluded)."""
+    rails = set(cell.rails)
+    parent: Dict[str, str] = {}
+
+    def find(x: str) -> str:
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for t in cell.transistors:
+        key = f"dev:{t.name}"
+        for net in t.channel_nets():
+            if net not in rails:
+                union(key, f"net:{net}")
+
+    groups: Dict[str, List[Transistor]] = {}
+    for t in cell.transistors:
+        groups.setdefault(find(f"dev:{t.name}"), []).append(t)
+    return list(groups.values())
+
+
+def _pick_exit(group: Sequence[Transistor], cell: CellNetlist) -> str:
+    """The net a branch drives: the one loading gates or the cell output."""
+    rails = set(cell.rails)
+    candidate_nets: Set[str] = set()
+    member_names = {t.name for t in group}
+    for t in group:
+        candidate_nets.update(n for n in t.channel_nets() if n not in rails)
+    if not candidate_nets:
+        raise BranchError(
+            f"branch {sorted(member_names)} touches only rails in {cell.name}"
+        )
+
+    outputs = set(cell.outputs)
+
+    def score(net: str) -> Tuple:
+        gate_loads = sum(
+            1
+            for t in cell.transistors
+            if t.gate == net and t.name not in member_names
+        )
+        degree = sum(1 for t in group if net in t.channel_nets())
+        return (net in outputs, gate_loads, degree, net)
+
+    return max(sorted(candidate_nets), key=score)
+
+
+def _branch_equation(
+    group: Sequence[Transistor], exit_net: str, cell: CellNetlist
+) -> EqNode:
+    """Equation: parallel combination of exit->rail path expressions.
+
+    Pull-down paths run through NMOS devices to ground, pull-up paths
+    through PMOS devices to power (complementary CMOS assumption; a
+    non-series-parallel side falls back to path enumeration).
+    """
+    parts: List[EqNode] = []
+    for subset, rail in (
+        ([t for t in group if t.is_nmos], cell.ground),
+        ([t for t in group if t.is_pmos], cell.power),
+    ):
+        if not subset:
+            continue
+        expr = sp_reduce(subset, exit_net, rail)
+        if expr is None:
+            expr = path_expression(subset, exit_net, rail)
+        if expr is None:
+            raise BranchError(
+                f"cannot derive equation of branch driving {exit_net} "
+                f"in {cell.name}"
+            )
+        parts.append(expr)
+    if not parts:
+        raise BranchError(f"empty branch driving {exit_net} in {cell.name}")
+    if len(parts) == 1:
+        return parts[0]
+    return EqParallel(*parts)
+
+
+def _assign_levels(branches: List[Branch], cell: CellNetlist) -> None:
+    """Level-1 branches drive the cell output; level-k+1 branches drive the
+    gates of level-k branch transistors (Section III.B)."""
+    by_exit: Dict[str, Branch] = {b.exit_net: b for b in branches}
+    outputs = set(cell.outputs)
+    for b in branches:
+        b.level = 0
+    frontier = [b for b in branches if b.exit_net in outputs]
+    for b in frontier:
+        b.level = 1
+    while frontier:
+        next_frontier: List[Branch] = []
+        for branch in frontier:
+            gate_nets = {t.gate for t in branch.devices}
+            for net in gate_nets:
+                driver = by_exit.get(net)
+                if driver is not None and driver.level == 0:
+                    driver.level = branch.level + 1
+                    next_frontier.append(driver)
+        frontier = next_frontier
+    # Anything unreachable from the output (unusual) sorts last.
+    worst = max((b.level for b in branches), default=0)
+    for b in branches:
+        if b.level == 0:
+            b.level = worst + 1
+
+
+def extract_branches(
+    cell: CellNetlist, activity: Mapping[str, int]
+) -> List[Branch]:
+    """Full branch decomposition, canonically sorted and indexed.
+
+    Branches are sorted by (level ascending, device count ascending,
+    anonymized equation alphabetical) — the paper's three criteria — and
+    each branch's equation is canonicalized with *activity* values
+    breaking ties between structurally identical operands.
+    """
+    branches: List[Branch] = []
+    for group in _channel_groups(cell):
+        exit_net = _pick_exit(group, cell)
+        equation = _branch_equation(group, exit_net, cell).canonical(activity)
+        branches.append(Branch(devices=list(group), exit_net=exit_net, equation=equation))
+    _assign_levels(branches, cell)
+    # Structurally identical branches (e.g. the two input inverters of an
+    # XOR cell) tie on all three of the paper's criteria; their devices'
+    # activity values break the tie, mirroring Section III.C.
+    branches.sort(
+        key=lambda b: (
+            b.level,
+            b.n_devices,
+            b.anon,
+            tuple(activity[t.name] for t in b.equation.devices()),
+        )
+    )
+    for i, branch in enumerate(branches):
+        branch.index = i
+    return branches

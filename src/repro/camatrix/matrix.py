@@ -1,0 +1,279 @@
+"""CA-matrix assembly (Table I of the paper).
+
+One row per (stimulus, defect); columns:
+
+* ``IN<i>`` — the four-valued stimulus symbol on canonical pin *i*
+  (coded 0/1/2/3 for 0/1/R/F);
+* ``RESP`` — the golden cell response (the expected value the tester
+  compares against);
+* one activity column per canonical transistor (``N0..`` then ``P0..``):
+  NMOS coded 0/1/2/3, PMOS coded with the paper's '-' mark as
+  ``-(code+1)`` (-1..-4) so conducting PMOS and NMOS stay distinguishable;
+* four defect-description columns per canonical transistor
+  (``N0_D, N0_G, N0_S, N0_B, ...``) — '1' marks a terminal affected by the
+  row's defect;
+* the label: 1 when the defect is detected by the stimulus.
+
+Cells with equal (#inputs, #transistors) produce column-compatible
+matrices, which is the paper's training-group criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.camatrix.activity import gate_activity
+from repro.camatrix.pins import reorder_word
+from repro.camatrix.rename import RenamedCell, rename_transistors
+from repro.camodel.model import CAModel
+from repro.camodel.stimuli import Word, stimuli as make_stimuli
+from repro.camodel.generate import resolve_policy
+from repro.defects.model import Defect
+from repro.defects.universe import default_universe
+from repro.library.technology import ElectricalParams
+from repro.logic.fourval import V4, V4_CODE
+from repro.simulation.engine import CellSimulator
+from repro.spice.netlist import TERMINALS, CellNetlist
+
+#: the "free" (defect-less) rows of Table I carry this defect index
+FREE_ROW = -1
+
+
+def encode_symbol(symbol: V4) -> int:
+    """Integer code of a four-valued symbol (X becomes -128)."""
+    return V4_CODE[symbol]
+
+
+def encode_activity(symbol: V4, is_nmos: bool) -> int:
+    """Activity code; PMOS values carry the paper's '-' mark."""
+    code = V4_CODE[symbol]
+    if code < 0:  # X never appears in golden activity, but stay total
+        return code
+    return code if is_nmos else -(code + 1)
+
+
+@dataclass
+class CAMatrix:
+    """The ML-ready matrix of one cell."""
+
+    cell_name: str
+    technology: str
+    group_key: Tuple[int, int]
+    columns: List[str]
+    features: np.ndarray
+    labels: Optional[np.ndarray]
+    #: defect index per row (FREE_ROW for defect-free rows)
+    row_defect: np.ndarray
+    #: stimulus index per row
+    row_stimulus: np.ndarray
+    renamed: RenamedCell
+    stimuli: List[Word]
+    defects: List[Defect]
+    #: the cell output this matrix characterizes
+    output: str = ""
+
+    @property
+    def n_rows(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    def labelled(self) -> bool:
+        return self.labels is not None
+
+    def rows_of_defect(self, defect_index: int) -> np.ndarray:
+        """Row positions belonging to one defect."""
+        return np.nonzero(self.row_defect == defect_index)[0]
+
+    def to_model(self, labels: Optional[np.ndarray] = None) -> CAModel:
+        """Reassemble a CA model from (predicted) labels.
+
+        The inverse of matrix creation: labels for the defect rows are
+        reshaped back into a (defects x stimuli) detection table — this is
+        how an ML prediction becomes "a new CA model for a given standard
+        cell" (Section II.B).
+        """
+        values = labels if labels is not None else self.labels
+        if values is None:
+            raise ValueError("no labels available to build a CA model from")
+        values = np.asarray(values).astype(np.int8)
+        detection = np.zeros((len(self.defects), len(self.stimuli)), dtype=np.int8)
+        for row in range(self.n_rows):
+            d = self.row_defect[row]
+            if d != FREE_ROW:
+                detection[d, self.row_stimulus[row]] = values[row]
+        port = self.output or self.renamed.original.outputs[0]
+        golden_sim = CellSimulator(self.renamed.original)
+        golden = [golden_sim.output_response(w, output=port) for w in self.stimuli]
+        return CAModel(
+            cell_name=self.cell_name,
+            technology=self.technology,
+            inputs=tuple(self.renamed.original.inputs),
+            output=port,
+            stimuli=list(self.stimuli),
+            golden=golden,
+            defects=list(self.defects),
+            detection=detection,
+        )
+
+
+def matrix_columns(
+    n_inputs: int,
+    canonical_names: Sequence[str],
+    structural_features: bool = True,
+) -> List[str]:
+    """Column names for a group with the given shape."""
+    columns = [f"IN{i}" for i in range(n_inputs)]
+    columns.append("RESP")
+    columns.extend(canonical_names)
+    if structural_features:
+        for name in canonical_names:
+            columns.extend((f"{name}_LVL", f"{name}_SD", f"{name}_PW"))
+    for name in canonical_names:
+        columns.extend(f"{name}_{term}" for term in TERMINALS)
+    return columns
+
+
+def build_matrix(
+    cell: CellNetlist,
+    model: Optional[CAModel] = None,
+    params: Optional[ElectricalParams] = None,
+    policy: str = "auto",
+    universe: Optional[Sequence[Defect]] = None,
+    include_free_rows: bool = True,
+    structural_features: bool = True,
+    output: Optional[str] = None,
+    renamed: Optional[RenamedCell] = None,
+) -> CAMatrix:
+    """Build the CA-matrix of one cell.
+
+    With *model* (a generated CA model) the matrix is labelled training
+    data; without it, the matrix covers the requested defect universe with
+    ``labels=None`` — the "new data" of the inference path (Fig. 2).
+
+    *structural_features* adds the per-device (level, stack depth,
+    parallel width) descriptor columns.  The paper's matrix carries only
+    stimuli, responses, activity and defect location; those features leave
+    rows of different functions in one group occasionally
+    indistinguishable but oppositely labelled, capping accuracy.  The
+    descriptors (derived from the branch equations the renaming step
+    already computes) remove that ambiguity; disable them to measure the
+    paper-faithful ablation.
+    """
+    simulator = CellSimulator(cell, params=params)
+    renamed = renamed or rename_transistors(cell, params=params, simulator=simulator)
+
+    port = output or (model.output if model is not None else cell.outputs[0])
+    if port not in cell.outputs:
+        raise ValueError(f"{port!r} is not an output of {cell.name}")
+    if model is not None:
+        words = list(model.stimuli)
+        defects = list(model.defects)
+        detection = model.detection
+        golden = list(model.golden)
+    else:
+        words = make_stimuli(cell.n_inputs, resolve_policy(cell.n_inputs, policy))
+        defects = (
+            list(universe) if universe is not None else default_universe(cell)
+        )
+        detection = None
+        golden = [simulator.output_response(w, output=port) for w in words]
+
+    canonical_names = renamed.canonical_names()
+    device_by_new = {
+        renamed.mapping[t.name]: t for t in renamed.original.transistors
+    }
+    columns = matrix_columns(
+        cell.n_inputs, canonical_names, structural_features=structural_features
+    )
+
+    # --- per-stimulus block: inputs, response, activity -----------------
+    n_inputs = cell.n_inputs
+    n_devices = len(canonical_names)
+    n_structural = 3 * n_devices if structural_features else 0
+    base = np.zeros(
+        (len(words), n_inputs + 1 + n_devices + n_structural), dtype=np.int8
+    )
+    declared = list(cell.inputs)
+    for s, word in enumerate(words):
+        reordered = reorder_word(word, declared, renamed.pin_order)
+        for i, symbol in enumerate(reordered):
+            base[s, i] = encode_symbol(symbol)
+        base[s, n_inputs] = encode_symbol(golden[s])
+        waveforms = simulator.net_waveforms(word)
+        for d, name in enumerate(canonical_names):
+            device = device_by_new[name]
+            symbol = gate_activity(device, waveforms[device.gate])
+            base[s, n_inputs + 1 + d] = encode_activity(symbol, device.is_nmos)
+    if structural_features:
+        start = n_inputs + 1 + n_devices
+        for d, name in enumerate(canonical_names):
+            level, depth, width = renamed.structure.get(name, (0, 0, 0))
+            base[:, start + 3 * d] = min(level, 127)
+            base[:, start + 3 * d + 1] = min(depth, 127)
+            base[:, start + 3 * d + 2] = min(width, 127)
+
+    # --- defect one-hot blocks ------------------------------------------
+    terminal_col = {}
+    offset = n_inputs + 1 + n_devices + n_structural
+    for d, name in enumerate(canonical_names):
+        for t_i, term in enumerate(TERMINALS):
+            terminal_col[(name, term)] = offset + 4 * d + t_i
+
+    defect_blocks = np.zeros((len(defects), 4 * n_devices), dtype=np.int8)
+    for k, defect in enumerate(defects):
+        for old_name, term in defect.affected_terminals(renamed.original):
+            new_name = renamed.mapping[old_name]
+            defect_blocks[k, terminal_col[(new_name, term)] - offset] = 1
+
+    # --- assemble rows ----------------------------------------------------
+    blocks: List[np.ndarray] = []
+    row_defect: List[np.ndarray] = []
+    row_stimulus: List[np.ndarray] = []
+    stim_index = np.arange(len(words), dtype=np.int32)
+
+    if include_free_rows:
+        free = np.hstack(
+            [base, np.zeros((len(words), 4 * n_devices), dtype=np.int8)]
+        )
+        blocks.append(free)
+        row_defect.append(np.full(len(words), FREE_ROW, dtype=np.int32))
+        row_stimulus.append(stim_index)
+
+    for k in range(len(defects)):
+        block = np.hstack(
+            [base, np.tile(defect_blocks[k], (len(words), 1))]
+        )
+        blocks.append(block)
+        row_defect.append(np.full(len(words), k, dtype=np.int32))
+        row_stimulus.append(stim_index)
+
+    features = np.vstack(blocks)
+    labels: Optional[np.ndarray] = None
+    if detection is not None:
+        parts: List[np.ndarray] = []
+        if include_free_rows:
+            parts.append(np.zeros(len(words), dtype=np.int8))
+        for k in range(len(defects)):
+            parts.append(detection[k].astype(np.int8))
+        labels = np.concatenate(parts)
+
+    return CAMatrix(
+        cell_name=cell.name,
+        technology=cell.technology,
+        group_key=cell.group_key,
+        columns=columns,
+        features=features,
+        labels=labels,
+        row_defect=np.concatenate(row_defect),
+        row_stimulus=np.concatenate(row_stimulus),
+        renamed=renamed,
+        stimuli=words,
+        defects=defects,
+        output=port,
+    )

@@ -1,0 +1,57 @@
+"""Canonical ordering of cell input pins.
+
+The CA-matrix's stimulus columns are positional, so cells can only share
+training data if "the same" pin occupies the same position.  Libraries name
+pins differently (``A,B`` vs ``IN1,IN2``) but list them in a consistent
+functional order in the subcircuit header; this module additionally sorts
+pins by a *structural* signature (which branches/device types they gate) so
+that a permuted port list still canonicalizes.  Fully symmetric pins (the
+two inputs of a NAND2) keep their declared relative order — any consistent
+convention works for them because the detection table is permutation
+symmetric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+from repro.camatrix.branches import Branch
+from repro.spice.netlist import CellNetlist
+
+
+def pin_signature(
+    pin: str, cell: CellNetlist, branches: List[Branch]
+) -> Tuple[Tuple[int, int, str, str], ...]:
+    """Structural signature of one input pin.
+
+    The sorted tuple of (branch level, branch size, branch anonymized
+    equation, device type) over the devices the pin gates.  Identical for
+    pins in identical structural roles, independent of any names.
+    """
+    branch_of = {}
+    for branch in branches:
+        for device in branch.devices:
+            branch_of[device.name] = branch
+    rows = []
+    for device in cell.transistors:
+        if device.gate == pin:
+            branch = branch_of.get(device.name)
+            if branch is None:
+                rows.append((10**6, 0, "", device.ttype))
+            else:
+                rows.append(
+                    (branch.level, branch.n_devices, branch.anon, device.ttype)
+                )
+    return tuple(sorted(rows))
+
+
+def canonical_pin_order(cell: CellNetlist, branches: List[Branch]) -> List[str]:
+    """Input pins in canonical order (stable structural sort)."""
+    signatures = {pin: pin_signature(pin, cell, branches) for pin in cell.inputs}
+    return sorted(cell.inputs, key=lambda pin: signatures[pin])
+
+
+def reorder_word(word, declared: List[str], canonical: List[str]):
+    """Permute a stimulus word from declared-pin order to canonical order."""
+    index = {pin: i for i, pin in enumerate(declared)}
+    return tuple(word[index[pin]] for pin in canonical)

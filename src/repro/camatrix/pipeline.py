@@ -1,0 +1,76 @@
+"""End-to-end CA-matrix pipeline helpers (Fig. 3 of the paper).
+
+Wraps the per-cell steps — CA model rewrite, activity identification,
+transistor renaming, matrix creation — and the grouping logic that pools
+cells with equal (#inputs, #transistors) into training sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.camatrix.matrix import CAMatrix, build_matrix
+from repro.camodel.model import CAModel
+from repro.library.technology import ElectricalParams
+from repro.spice.netlist import CellNetlist
+
+GroupKey = Tuple[int, int]
+
+
+def training_matrix(
+    cell: CellNetlist,
+    model: CAModel,
+    params: Optional[ElectricalParams] = None,
+) -> CAMatrix:
+    """Labelled CA-matrix from an existing CA model (training path)."""
+    return build_matrix(cell, model=model, params=params)
+
+
+def inference_matrix(
+    cell: CellNetlist,
+    params: Optional[ElectricalParams] = None,
+    policy: str = "auto",
+) -> CAMatrix:
+    """Unlabelled CA-matrix for a cell to characterize (inference path)."""
+    return build_matrix(cell, model=None, params=params, policy=policy)
+
+
+def group_matrices(
+    matrices: Iterable[CAMatrix],
+) -> Dict[GroupKey, List[CAMatrix]]:
+    """Pool matrices by (#inputs, #transistors) — the paper's grouping."""
+    groups: Dict[GroupKey, List[CAMatrix]] = {}
+    for m in matrices:
+        groups.setdefault(m.group_key, []).append(m)
+    return groups
+
+
+def stack(matrices: Sequence[CAMatrix]) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack labelled matrices of one group into (X, y).
+
+    Raises when matrices are column-incompatible (different group) or
+    unlabelled.
+    """
+    if not matrices:
+        raise ValueError("nothing to stack")
+    reference = matrices[0]
+    for m in matrices[1:]:
+        if m.group_key != reference.group_key:
+            raise ValueError(
+                f"group mismatch: {m.cell_name} {m.group_key} vs "
+                f"{reference.cell_name} {reference.group_key}"
+            )
+        if m.n_features != reference.n_features:
+            raise ValueError(
+                f"feature-width mismatch: {m.cell_name} has {m.n_features}, "
+                f"expected {reference.n_features}"
+            )
+    for m in matrices:
+        if m.labels is None:
+            raise ValueError(f"matrix of {m.cell_name} is unlabelled")
+    features = np.vstack([m.features for m in matrices])
+    labels = np.concatenate([m.labels for m in matrices])
+    return features, labels

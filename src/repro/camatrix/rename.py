@@ -1,0 +1,137 @@
+"""Canonical transistor renaming (Sections III.B / III.C of the paper).
+
+Two cells with the same transistor structure receive identical transistor
+names regardless of the names and ordering in their source netlists:
+
+1. golden-simulate the cell and compute every device's activity value;
+2. decompose into branches and canonicalize each branch equation
+   (operands sorted by anonymized form, ties by ascending activity);
+3. sort branches by (level, device count, anonymized equation);
+4. walk the sorted branches' equations and hand out ``N0, N1, ...`` /
+   ``P0, P1, ...`` in traversal order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.camatrix.activity import activity_values
+from repro.camatrix.branches import Branch, extract_branches, leaf_descriptors
+from repro.camatrix.pins import canonical_pin_order
+from repro.library.technology import ElectricalParams
+from repro.simulation.engine import CellSimulator
+from repro.spice.netlist import CellNetlist, Transistor
+
+
+@dataclass
+class RenamedCell:
+    """Result of canonical renaming."""
+
+    original: CellNetlist
+    #: netlist with canonical device names, devices in canonical order
+    cell: CellNetlist
+    #: old name -> canonical name
+    mapping: Dict[str, str]
+    #: canonical branch decomposition (device objects carry old names)
+    branches: List[Branch]
+    #: canonical name -> activity value
+    activity: Dict[str, int]
+    #: input pins in canonical (structural) order
+    pin_order: List[str] = field(default_factory=list)
+    #: canonical name -> (branch level, stack depth, parallel width)
+    structure: Dict[str, Tuple[int, int, int]] = field(default_factory=dict)
+
+    @property
+    def signature(self) -> Tuple[str, ...]:
+        """Structural signature: ordered anonymized branch equations.
+
+        Identical signatures mean identical transistor structure — the
+        test the hybrid flow's structural analysis performs (Section V.C).
+        """
+        return tuple(b.anon for b in self.branches)
+
+    def canonical_names(self) -> List[str]:
+        """All canonical device names, N0..Nk then P0..Pm."""
+        n_names = sorted(
+            (name for name in self.mapping.values() if name.startswith("N")),
+            key=lambda s: int(s[1:]),
+        )
+        p_names = sorted(
+            (name for name in self.mapping.values() if name.startswith("P")),
+            key=lambda s: int(s[1:]),
+        )
+        return n_names + p_names
+
+    def equations(self) -> List[str]:
+        """Branch equations rendered with canonical names."""
+        return [b.equation.named(self.mapping) for b in self.branches]
+
+
+def rename_transistors(
+    cell: CellNetlist,
+    params: Optional[ElectricalParams] = None,
+    simulator: Optional[CellSimulator] = None,
+) -> RenamedCell:
+    """Compute the canonical renaming of *cell*."""
+    sim = simulator or CellSimulator(cell, params=params)
+    # Pass 1 (structure only): branch shapes fix the canonical pin order;
+    # activity values are then computed against that order, breaking the
+    # pins -> activity -> renaming circularity deterministically.
+    structural = extract_branches(cell, {t.name: 0 for t in cell.transistors})
+    pin_order = canonical_pin_order(cell, structural)
+    activity = activity_values(cell, simulator=sim, pin_order=pin_order)
+    branches = extract_branches(cell, activity)
+
+    mapping: Dict[str, str] = {}
+    n_counter = 0
+    p_counter = 0
+    for branch in branches:
+        for device in branch.equation.devices():
+            if device.name in mapping:
+                continue  # non-SP fallback can repeat a device
+            if device.is_nmos:
+                mapping[device.name] = f"N{n_counter}"
+                n_counter += 1
+            else:
+                mapping[device.name] = f"P{p_counter}"
+                p_counter += 1
+
+    missing = [t.name for t in cell.transistors if t.name not in mapping]
+    for name in missing:  # devices outside every equation (degenerate)
+        device = cell.transistor(name)
+        if device.is_nmos:
+            mapping[name] = f"N{n_counter}"
+            n_counter += 1
+        else:
+            mapping[name] = f"P{p_counter}"
+            p_counter += 1
+
+    ordered: List[Transistor] = []
+    seen = set()
+    for branch in branches:
+        for device in branch.equation.devices():
+            if device.name not in seen:
+                seen.add(device.name)
+                ordered.append(device.renamed(mapping[device.name]))
+    for name in missing:
+        ordered.append(cell.transistor(name).renamed(mapping[name]))
+
+    structure: Dict[str, Tuple[int, int, int]] = {}
+    for branch in branches:
+        descriptors = leaf_descriptors(branch.equation)
+        for old_name, (depth, width) in descriptors.items():
+            structure[mapping[old_name]] = (branch.level, depth, width)
+    for name in missing:
+        structure.setdefault(mapping[name], (0, 0, 0))
+
+    canonical = cell.with_transistors(ordered)
+    return RenamedCell(
+        original=cell,
+        cell=canonical,
+        mapping=mapping,
+        branches=branches,
+        activity={mapping[old]: value for old, value in activity.items()},
+        pin_order=pin_order,
+        structure=structure,
+    )

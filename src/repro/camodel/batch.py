@@ -1,0 +1,58 @@
+"""Parallel library characterization.
+
+The conventional flow is embarrassingly parallel over cells ("CPU
+requirements" are one of the costs the paper lists).  This module fans
+:func:`~repro.camodel.generate.generate_ca_model` out over a process pool;
+cells are rebuilt inside the workers from (technology, cell name) so only
+small payloads cross the pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.camodel.generate import generate_ca_model
+from repro.camodel.io import model_from_dict, model_to_dict
+from repro.camodel.model import CAModel
+from repro.spice.netlist import CellNetlist
+from repro.spice.writer import write_cell
+
+
+def _characterize_worker(payload: Tuple[str, str, str]) -> Tuple[str, Dict]:
+    """Worker: parse the cell text, generate, return a serialized model."""
+    cell_text, technology, policy = payload
+    from repro.spice.parser import parse_cell
+
+    cell = parse_cell(cell_text, technology=technology)
+    model = generate_ca_model(cell, policy=policy)
+    return cell.name, model_to_dict(model)
+
+
+def generate_library(
+    cells: Sequence[CellNetlist],
+    policy: str = "auto",
+    processes: Optional[int] = None,
+    chunksize: int = 1,
+) -> Dict[str, CAModel]:
+    """Characterize many cells, optionally in parallel.
+
+    ``processes=None`` or ``1`` runs inline (deterministic order, easier
+    debugging); otherwise a ``multiprocessing`` pool is used.  Returns
+    ``{cell name: CAModel}``.
+    """
+    if processes is None or processes <= 1:
+        return {
+            cell.name: generate_ca_model(cell, policy=policy) for cell in cells
+        }
+
+    payloads = [
+        (write_cell(cell), cell.technology, policy) for cell in cells
+    ]
+    out: Dict[str, CAModel] = {}
+    with multiprocessing.Pool(processes=processes) as pool:
+        for name, data in pool.imap_unordered(
+            _characterize_worker, payloads, chunksize=chunksize
+        ):
+            out[name] = model_from_dict(data)
+    return out

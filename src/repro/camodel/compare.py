@@ -1,0 +1,138 @@
+"""CA model comparison: prediction quality in *test* terms.
+
+Row accuracy (the paper's reported metric) treats all errors alike, but a
+predicted CA model fails asymmetrically:
+
+* a **test escape** — the reference detects a defect with some stimulus
+  and the predicted model misses that detection.  If patterns are chosen
+  from the predicted model, a real defect may ship untested;
+* an **overkill** — the predicted model claims a detection the reference
+  lacks; harmless for quality, it wastes pattern slots and misleads
+  diagnosis.
+
+:func:`compare_models` produces both views plus defect-level agreement
+(the unit that matters for pattern generation: does the *set of detecting
+stimuli per defect* survive prediction?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.camodel.model import CAModel
+from repro.camodel.patterns import select_patterns
+
+
+class ComparisonError(ValueError):
+    """Raised when two models are not comparable."""
+
+
+@dataclass
+class ModelDiff:
+    """Cell-level comparison of a predicted model against a reference."""
+
+    cell_name: str
+    #: per-(defect, stimulus) agreement — the paper's accuracy
+    bit_accuracy: float
+    #: fraction of reference detections missed by the prediction
+    escape_rate: float
+    #: fraction of predicted detections absent from the reference
+    overkill_rate: float
+    #: defects whose entire detection row matches
+    exact_defects: int
+    n_defects: int
+    #: defects detectable in the reference but completely lost
+    lost_defects: Tuple[str, ...] = ()
+    #: coverage achieved on the *reference* by patterns selected from the
+    #: *predicted* model — the end-to-end test-quality number
+    pattern_coverage: float = 1.0
+
+    @property
+    def exact_fraction(self) -> float:
+        return self.exact_defects / self.n_defects if self.n_defects else 1.0
+
+
+def compare_models(reference: CAModel, predicted: CAModel) -> ModelDiff:
+    """Compare a predicted CA model against its simulated reference."""
+    if reference.detection.shape != predicted.detection.shape:
+        raise ComparisonError(
+            f"shape mismatch: reference {reference.detection.shape} vs "
+            f"predicted {predicted.detection.shape}"
+        )
+    if [d.name for d in reference.defects] != [d.name for d in predicted.defects]:
+        raise ComparisonError("defect universes differ")
+
+    ref = reference.detection.astype(bool)
+    pred = predicted.detection.astype(bool)
+
+    bit_accuracy = float((ref == pred).mean())
+    ref_detections = int(ref.sum())
+    pred_detections = int(pred.sum())
+    escapes = int((ref & ~pred).sum())
+    overkills = int((~ref & pred).sum())
+    escape_rate = escapes / ref_detections if ref_detections else 0.0
+    overkill_rate = overkills / pred_detections if pred_detections else 0.0
+
+    exact = int((ref == pred).all(axis=1).sum())
+    lost = tuple(
+        reference.defects[i].name
+        for i in range(ref.shape[0])
+        if ref[i].any() and not pred[i].any()
+    )
+
+    # end-to-end: pick patterns from the prediction, score on the reference
+    chosen = select_patterns(predicted).stimuli
+    detectable = ref.any(axis=1)
+    if detectable.any() and chosen:
+        covered = ref[detectable][:, list(chosen)].any(axis=1)
+        pattern_coverage = float(covered.mean())
+    elif not detectable.any():
+        pattern_coverage = 1.0
+    else:
+        pattern_coverage = 0.0
+
+    return ModelDiff(
+        cell_name=reference.cell_name,
+        bit_accuracy=bit_accuracy,
+        escape_rate=escape_rate,
+        overkill_rate=overkill_rate,
+        exact_defects=exact,
+        n_defects=ref.shape[0],
+        lost_defects=lost,
+        pattern_coverage=pattern_coverage,
+    )
+
+
+@dataclass
+class LibraryDiff:
+    """Aggregate of many :class:`ModelDiff` (e.g. one per predicted cell)."""
+
+    diffs: List[ModelDiff] = field(default_factory=list)
+
+    def add(self, diff: ModelDiff) -> None:
+        self.diffs.append(diff)
+
+    def summary(self) -> Dict[str, float]:
+        if not self.diffs:
+            return {}
+        return {
+            "cells": len(self.diffs),
+            "mean_bit_accuracy": float(
+                np.mean([d.bit_accuracy for d in self.diffs])
+            ),
+            "mean_escape_rate": float(
+                np.mean([d.escape_rate for d in self.diffs])
+            ),
+            "mean_overkill_rate": float(
+                np.mean([d.overkill_rate for d in self.diffs])
+            ),
+            "mean_pattern_coverage": float(
+                np.mean([d.pattern_coverage for d in self.diffs])
+            ),
+            "cells_with_lost_defects": sum(
+                1 for d in self.diffs if d.lost_defects
+            ),
+        }

@@ -1,0 +1,178 @@
+"""Conventional (simulation-based) CA model generation — Fig. 1 of the paper.
+
+For every defect in the universe, the cell is simulated against the full
+stimulus set and each response compared with the golden one.  Detection
+requires a deterministic mismatch: an X defective response (floating or
+contended output) is *not* a detection.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.camodel.model import CAModel
+from repro.camodel.stimuli import Word, stimuli as make_stimuli
+from repro.defects.model import Defect
+from repro.defects.universe import default_universe
+from repro.library.technology import ElectricalParams, Technology
+from repro.library.technology import get as get_technology
+from repro.logic.fourval import V4
+from repro.simulation.engine import CellSimulator
+from repro.spice.netlist import CellNetlist
+
+#: with 'auto', exhaustive stimuli are used up to this input count and the
+#: adjacent (single-input-transition) set beyond — see DESIGN.md
+AUTO_EXHAUSTIVE_LIMIT = 4
+
+#: a defect whose output transition is driven through more than this factor
+#: of the golden effective resistance is delay-detected (the switch-level
+#: proxy for the transient "slow cell" detections of a SPICE-based flow);
+#: 1.25 catches the loss of one finger out of four (ratio 4/3)
+DEFAULT_SLOW_FACTOR = 1.25
+
+
+def resolve_policy(n_inputs: int, policy: str) -> str:
+    if policy != "auto":
+        return policy
+    return "exhaustive" if n_inputs <= AUTO_EXHAUSTIVE_LIMIT else "adjacent"
+
+
+def detect(golden: V4, defective: V4) -> int:
+    """Paper detection rule: deterministic mismatch only."""
+    if not defective.is_known:
+        return 0
+    return int(defective is not golden)
+
+
+def generate_ca_model(
+    cell: CellNetlist,
+    params: Optional[ElectricalParams] = None,
+    policy: str = "auto",
+    universe: Optional[Sequence[Defect]] = None,
+    keep_responses: bool = False,
+    delay_detection: bool = True,
+    slow_factor: float = DEFAULT_SLOW_FACTOR,
+    output: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CAModel:
+    """Run the conventional generation flow for one cell.
+
+    Parameters
+    ----------
+    params:
+        Electrical parameters; defaults to the cell's technology if it
+        names a registered one, else generic parameters.
+    policy:
+        Stimulus policy ('auto', 'exhaustive', 'adjacent', 'static').
+    universe:
+        Defect list; defaults to all intra-transistor opens and shorts.
+    keep_responses:
+        Also record the full defective response matrix (heavier; useful
+        for analysis and examples).
+    delay_detection:
+        Also flag defects whose output transition is logically correct but
+        driven through > *slow_factor* x the golden effective resistance
+        (delay detection; catches single-finger opens in parallel stacks).
+    output:
+        Cell output to characterize (first output by default); use
+        :func:`generate_multi` for all outputs of a multi-output cell.
+    progress:
+        Optional callback ``(done, total)`` per defect.
+    """
+    started = time.perf_counter()
+    if params is None:
+        params = _default_params(cell)
+    port = output or cell.outputs[0]
+    if port not in cell.outputs:
+        raise ValueError(f"{port!r} is not an output of {cell.name}")
+    words = make_stimuli(cell.n_inputs, resolve_policy(cell.n_inputs, policy))
+    defects = list(universe) if universe is not None else default_universe(cell)
+
+    golden_sim = CellSimulator(cell, params=params)
+    golden = [golden_sim.output_response(w, output=port) for w in words]
+    transition_cols = [
+        col for col, response in enumerate(golden) if response.is_dynamic
+    ]
+    golden_resistance = {}
+    if delay_detection:
+        for col in transition_cols:
+            golden_resistance[col] = golden_sim.output_drive_resistance(
+                words[col], output=port
+            )
+
+    detection = np.zeros((len(defects), len(words)), dtype=np.int8)
+    responses: Optional[List[List[V4]]] = [] if keep_responses else None
+    simulation_count = len(words)  # the golden pass
+
+    for row, defect in enumerate(defects):
+        effect = defect.effect(cell, params.short_resistance)
+        if effect.benign or effect.is_golden:
+            if responses is not None:
+                responses.append(list(golden))
+        else:
+            sim = CellSimulator(cell, params=params, effect=effect)
+            row_responses: List[V4] = []
+            for col, word in enumerate(words):
+                response = sim.output_response(word, output=port)
+                detection[row, col] = detect(golden[col], response)
+                row_responses.append(response)
+            if delay_detection:
+                for col in transition_cols:
+                    if detection[row, col] or row_responses[col] is not golden[col]:
+                        continue
+                    reference = golden_resistance[col]
+                    measured = sim.output_drive_resistance(words[col], output=port)
+                    if measured > slow_factor * reference:
+                        detection[row, col] = 1
+            simulation_count += len(words)
+            if responses is not None:
+                responses.append(row_responses)
+        if progress is not None:
+            progress(row + 1, len(defects))
+
+    return CAModel(
+        cell_name=cell.name,
+        technology=cell.technology,
+        inputs=tuple(cell.inputs),
+        output=port,
+        stimuli=words,
+        golden=golden,
+        defects=defects,
+        detection=detection,
+        responses=responses,
+        simulation_count=simulation_count,
+        generation_seconds=time.perf_counter() - started,
+    )
+
+
+def generate_multi(
+    cell: CellNetlist,
+    params: Optional[ElectricalParams] = None,
+    policy: str = "auto",
+    **kwargs,
+) -> dict:
+    """Characterize every output of a multi-output cell.
+
+    Industrial CA flows keep one detection table per output; this wrapper
+    returns ``{output port: CAModel}``.  (Each output currently re-runs
+    the defect simulations; the per-cell phase caches keep the overhead
+    modest for the handful of multi-output cells.)
+    """
+    return {
+        port: generate_ca_model(
+            cell, params=params, policy=policy, output=port, **kwargs
+        )
+        for port in cell.outputs
+    }
+
+
+def _default_params(cell: CellNetlist) -> ElectricalParams:
+    if cell.technology:
+        try:
+            return get_technology(cell.technology).electrical
+        except KeyError:
+            pass
+    return ElectricalParams()

@@ -1,0 +1,102 @@
+"""CA model file format (read / write).
+
+A simple self-describing JSON format: portable, diff-friendly, and compact
+enough for library-scale caches (detection rows are stored as '0'/'1'
+strings).  This stands in for the commercial tools' proprietary CA model
+file formats the paper's flow parses ("the output information is then
+parsed to the desired file format", Section V.C).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.camodel.model import CAModel
+from repro.defects.model import Defect
+from repro.logic.fourval import V4, parse_word, word_to_string
+
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: CAModel) -> Dict:
+    """Serializable representation of a CA model."""
+    return {
+        "format": FORMAT_VERSION,
+        "cell": model.cell_name,
+        "technology": model.technology,
+        "inputs": list(model.inputs),
+        "output": model.output,
+        "stimuli": model.stimulus_strings(),
+        "golden": "".join(str(v) for v in model.golden),
+        "defects": [
+            {"name": d.name, "kind": d.kind, "location": list(d.location)}
+            for d in model.defects
+        ],
+        "detection": [
+            "".join(str(int(v)) for v in row) for row in model.detection
+        ],
+        "simulation_count": model.simulation_count,
+        "generation_seconds": model.generation_seconds,
+    }
+
+
+def model_from_dict(data: Dict) -> CAModel:
+    """Inverse of :func:`model_to_dict`."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported CA model format {data.get('format')!r}")
+    stimuli = [parse_word(s) for s in data["stimuli"]]
+    golden = [V4.from_string(c) for c in data["golden"]]
+    defects = [
+        Defect(d["name"], d["kind"], tuple(d["location"])) for d in data["defects"]
+    ]
+    detection = np.array(
+        [[int(c) for c in row] for row in data["detection"]], dtype=np.int8
+    )
+    if detection.size == 0:
+        detection = detection.reshape(len(defects), len(stimuli))
+    return CAModel(
+        cell_name=data["cell"],
+        technology=data.get("technology", ""),
+        inputs=tuple(data["inputs"]),
+        output=data["output"],
+        stimuli=stimuli,
+        golden=golden,
+        defects=defects,
+        detection=detection,
+        simulation_count=int(data.get("simulation_count", 0)),
+        generation_seconds=float(data.get("generation_seconds", 0.0)),
+    )
+
+
+def save_model(model: CAModel, path: Union[str, Path]) -> Path:
+    """Write one CA model to *path* (JSON)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(model_to_dict(model)))
+    return path
+
+
+def load_model(path: Union[str, Path]) -> CAModel:
+    """Read one CA model from *path*."""
+    return model_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_models(models: List[CAModel], path: Union[str, Path]) -> Path:
+    """Write a list of CA models into one file (a 'CA model library')."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"format": FORMAT_VERSION, "models": [model_to_dict(m) for m in models]}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_models(path: Union[str, Path]) -> List[CAModel]:
+    """Read a CA model library file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported CA library format {payload.get('format')!r}")
+    return [model_from_dict(d) for d in payload["models"]]

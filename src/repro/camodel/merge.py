@@ -1,0 +1,96 @@
+"""Merging per-output CA models of multi-output cells.
+
+Per-output characterization (:func:`repro.camodel.generate.generate_multi`)
+produces one detection table per output; testers observe all outputs at
+once, so the *cell-level* view is the union: a defect is detected by a
+stimulus when any output exposes it.  The merged view also records which
+outputs expose each defect, which diagnosis uses to narrow candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.camodel.model import CAModel
+
+
+class MergeError(ValueError):
+    """Raised when per-output models are inconsistent."""
+
+
+@dataclass
+class MergedModel:
+    """Cell-level union of per-output CA models."""
+
+    cell_name: str
+    outputs: Tuple[str, ...]
+    #: union detection table (defects x stimuli)
+    detection: np.ndarray
+    #: per-output detection tables, keyed by output port
+    per_output: Dict[str, np.ndarray] = field(default_factory=dict)
+    defect_names: Tuple[str, ...] = ()
+
+    def coverage(self) -> float:
+        if self.detection.shape[0] == 0:
+            return 1.0
+        return float(self.detection.any(axis=1).mean())
+
+    def observing_outputs(self, defect_name: str) -> Tuple[str, ...]:
+        """Outputs through which a defect is observable at all."""
+        index = self.defect_names.index(defect_name)
+        return tuple(
+            port
+            for port in self.outputs
+            if self.per_output[port][index].any()
+        )
+
+    def exclusive_defects(self, output: str) -> Tuple[str, ...]:
+        """Defects only observable through *output* — the reason
+        multi-output cells must be characterized on every port."""
+        out: List[str] = []
+        for i, name in enumerate(self.defect_names):
+            if not self.per_output[output][i].any():
+                continue
+            others = any(
+                self.per_output[port][i].any()
+                for port in self.outputs
+                if port != output
+            )
+            if not others:
+                out.append(name)
+        return tuple(out)
+
+
+def merge_models(models: Mapping[str, CAModel]) -> MergedModel:
+    """Union per-output models (as from ``generate_multi``) into one view."""
+    if not models:
+        raise MergeError("nothing to merge")
+    items = list(models.items())
+    reference = items[0][1]
+    for port, model in items:
+        if model.cell_name != reference.cell_name:
+            raise MergeError(
+                f"cell mismatch: {model.cell_name} vs {reference.cell_name}"
+            )
+        if model.stimuli != reference.stimuli:
+            raise MergeError(f"stimulus sets differ on output {port}")
+        if [d.name for d in model.defects] != [
+            d.name for d in reference.defects
+        ]:
+            raise MergeError(f"defect universes differ on output {port}")
+
+    union = np.zeros_like(reference.detection)
+    per_output: Dict[str, np.ndarray] = {}
+    for port, model in items:
+        per_output[port] = model.detection.astype(np.int8)
+        union |= per_output[port]
+    return MergedModel(
+        cell_name=reference.cell_name,
+        outputs=tuple(port for port, _m in items),
+        detection=union,
+        per_output=per_output,
+        defect_names=tuple(d.name for d in reference.defects),
+    )

@@ -1,0 +1,129 @@
+"""Cell-aware model data structures.
+
+A :class:`CAModel` is the artifact the whole flow exists to produce: for
+one cell, the detection table of every potential cell-internal defect over
+a stimulus set, plus the golden responses.  This mirrors what commercial
+"CA fault model" files contain (detection conditions per defect, Section I
+of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.defects.equivalence import EquivalenceClass, equivalence_classes
+from repro.defects.model import Defect
+from repro.logic.fourval import V4, word_to_string
+from repro.camodel.stimuli import Word, is_dynamic_word
+
+STATIC = "static"
+DYNAMIC = "dynamic"
+UNDETECTED = "undetected"
+
+
+@dataclass
+class CAModel:
+    """The cell-aware model of one cell."""
+
+    cell_name: str
+    technology: str
+    inputs: Tuple[str, ...]
+    output: str
+    stimuli: List[Word]
+    #: golden output response per stimulus
+    golden: List[V4]
+    defects: List[Defect]
+    #: (defects x stimuli) 0/1 detection matrix
+    detection: np.ndarray
+    #: defective output response codes, aligned with detection (optional)
+    responses: Optional[List[List[V4]]] = None
+    #: accounting: electrical simulations the generation spent
+    simulation_count: int = 0
+    generation_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.detection = np.asarray(self.detection, dtype=np.int8)
+        if self.detection.shape != (len(self.defects), len(self.stimuli)):
+            raise ValueError(
+                f"detection shape {self.detection.shape} does not match "
+                f"{len(self.defects)} defects x {len(self.stimuli)} stimuli"
+            )
+        if len(self.golden) != len(self.stimuli):
+            raise ValueError("golden responses do not match stimuli")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_defects(self) -> int:
+        return len(self.defects)
+
+    @property
+    def n_stimuli(self) -> int:
+        return len(self.stimuli)
+
+    def defect_index(self, name: str) -> int:
+        for i, d in enumerate(self.defects):
+            if d.name == name:
+                return i
+        raise KeyError(f"no defect {name!r} in CA model of {self.cell_name}")
+
+    def detection_row(self, name: str) -> np.ndarray:
+        """The 0/1 detection row of one defect."""
+        return self.detection[self.defect_index(name)]
+
+    def stimulus_strings(self) -> List[str]:
+        return [word_to_string(w) for w in self.stimuli]
+
+    # ------------------------------------------------------------------
+    def static_mask(self) -> np.ndarray:
+        """Boolean mask over stimuli: True where the word is static."""
+        return np.array([not is_dynamic_word(w) for w in self.stimuli])
+
+    def defect_type(self, name: str) -> str:
+        """Classify a defect: static / dynamic / undetected.
+
+        A *static* defect is caught by at least one static pattern; a
+        *dynamic* defect needs a two-pattern (transition) stimulus — the
+        stuck-open family; an *undetected* defect is caught by nothing.
+        """
+        row = self.detection_row(name)
+        static = self.static_mask()
+        if row[static].any():
+            return STATIC
+        if row.any():
+            return DYNAMIC
+        return UNDETECTED
+
+    def type_counts(self) -> Dict[str, int]:
+        counts = {STATIC: 0, DYNAMIC: 0, UNDETECTED: 0}
+        for d in self.defects:
+            counts[self.defect_type(d.name)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def equivalence(self) -> List[EquivalenceClass]:
+        """Defect equivalence classes over the full stimulus set."""
+        return equivalence_classes(self.detection, [d.name for d in self.defects])
+
+    def coverage(self) -> float:
+        """Fraction of defects detected by at least one stimulus."""
+        if self.n_defects == 0:
+            return 1.0
+        return float((self.detection.any(axis=1)).mean())
+
+    def summary(self) -> Dict[str, object]:
+        """Compact description used by reports and examples."""
+        classes = self.equivalence()
+        return {
+            "cell": self.cell_name,
+            "technology": self.technology,
+            "inputs": len(self.inputs),
+            "stimuli": self.n_stimuli,
+            "defects": self.n_defects,
+            "equivalence_classes": len(classes),
+            "coverage": round(self.coverage(), 4),
+            "types": self.type_counts(),
+            "simulations": self.simulation_count,
+        }

@@ -1,0 +1,129 @@
+"""Cell-aware test pattern selection.
+
+The point of CA models is "to guide the test pattern generation and CA
+diagnosis phases" (paper, Section I).  This module implements the two
+classic consumers of a detection table:
+
+* :func:`select_patterns` — a minimal-ish stimulus set covering every
+  detectable defect (greedy weighted set cover, the standard compaction
+  heuristic);
+* :func:`diagnose` — cell-level CA diagnosis: given observed per-stimulus
+  pass/fail behaviour, rank the defect (equivalence classes) whose
+  signature best explains it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.camodel.model import CAModel
+from repro.logic.fourval import word_to_string
+
+
+@dataclass(frozen=True)
+class PatternSet:
+    """Result of test-pattern selection for one cell."""
+
+    #: selected stimulus indices, in selection order
+    stimuli: Tuple[int, ...]
+    #: fraction of detectable defects covered by the selection
+    coverage: float
+    #: defects (names) not detectable by any stimulus at all
+    undetectable: Tuple[str, ...]
+
+    def words(self, model: CAModel) -> List[str]:
+        return [word_to_string(model.stimuli[i]) for i in self.stimuli]
+
+
+def select_patterns(
+    model: CAModel,
+    max_patterns: Optional[int] = None,
+    collapse_equivalent: bool = True,
+) -> PatternSet:
+    """Greedy minimal stimulus selection covering all detectable defects.
+
+    With *collapse_equivalent* the cover targets defect equivalence
+    classes (detecting one member detects all); limiting *max_patterns*
+    trades pattern count against coverage.
+    """
+    if collapse_equivalent:
+        classes = model.equivalence()
+        rows = np.array([c.detection for c in classes], dtype=np.int8)
+        names = [c.representative for c in classes]
+    else:
+        rows = model.detection
+        names = [d.name for d in model.defects]
+
+    detectable = rows.any(axis=1)
+    undetectable = tuple(
+        name for name, ok in zip(names, detectable) if not ok
+    )
+    target = rows[detectable]
+    n_targets = target.shape[0]
+    if n_targets == 0:
+        return PatternSet(stimuli=(), coverage=1.0, undetectable=undetectable)
+
+    covered = np.zeros(n_targets, dtype=bool)
+    selected: List[int] = []
+    budget = max_patterns if max_patterns is not None else target.shape[1]
+    while not covered.all() and len(selected) < budget:
+        gains = target[~covered].sum(axis=0)
+        best = int(np.argmax(gains))
+        if gains[best] == 0:
+            break
+        selected.append(best)
+        covered |= target[:, best].astype(bool)
+    return PatternSet(
+        stimuli=tuple(selected),
+        coverage=float(covered.mean()),
+        undetectable=undetectable,
+    )
+
+
+@dataclass(frozen=True)
+class DiagnosisCandidate:
+    """One ranked explanation of an observed failure signature."""
+
+    defect_names: Tuple[str, ...]
+    score: float
+    #: exact signature match?
+    exact: bool
+
+
+def diagnose(
+    model: CAModel,
+    observed_failures: Sequence[int],
+    top: int = 5,
+) -> List[DiagnosisCandidate]:
+    """Rank defect equivalence classes against an observed fail vector.
+
+    *observed_failures* is a 0/1 vector over the model's stimuli (1 =
+    tester observed a mismatch).  Candidates are scored by signature
+    agreement (1 - normalized Hamming distance); an exact match means the
+    class's detection row equals the observation.
+    """
+    observed = np.asarray(observed_failures, dtype=np.int8)
+    if observed.shape != (model.n_stimuli,):
+        raise ValueError(
+            f"observation length {observed.shape} does not match "
+            f"{model.n_stimuli} stimuli"
+        )
+    candidates: List[DiagnosisCandidate] = []
+    for eq_class in model.equivalence():
+        row = np.array(eq_class.detection, dtype=np.int8)
+        if not row.any() and not observed.any():
+            continue
+        distance = int(np.sum(row != observed))
+        score = 1.0 - distance / model.n_stimuli
+        candidates.append(
+            DiagnosisCandidate(
+                defect_names=eq_class.members,
+                score=score,
+                exact=distance == 0,
+            )
+        )
+    candidates.sort(key=lambda c: (-c.score, c.defect_names))
+    return candidates[:top]

@@ -1,0 +1,114 @@
+"""Library-level CA model statistics.
+
+Aggregates the quantities the paper's motivation section argues about:
+how many simulations a library costs, how defect types distribute, how
+redundant the defect universe is, and how all of this scales with cell
+complexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.camodel.model import CAModel, DYNAMIC, STATIC, UNDETECTED
+from repro.spice.netlist import CellNetlist
+
+
+@dataclass
+class CellStats:
+    """Summary of one cell's CA model."""
+
+    cell_name: str
+    function: str
+    n_inputs: int
+    n_transistors: int
+    n_defects: int
+    n_stimuli: int
+    n_classes: int
+    coverage: float
+    simulations: int
+    types: Dict[str, int]
+
+
+@dataclass
+class LibraryStats:
+    """Aggregate over a library's CA models."""
+
+    cells: List[CellStats] = field(default_factory=list)
+
+    def add(self, cell: CellNetlist, model: CAModel) -> None:
+        self.cells.append(
+            CellStats(
+                cell_name=cell.name,
+                function=cell.function,
+                n_inputs=cell.n_inputs,
+                n_transistors=cell.n_transistors,
+                n_defects=model.n_defects,
+                n_stimuli=model.n_stimuli,
+                n_classes=len(model.equivalence()),
+                coverage=model.coverage(),
+                simulations=model.simulation_count,
+                types=model.type_counts(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def total_simulations(self) -> int:
+        return sum(c.simulations for c in self.cells)
+
+    def mean_coverage(self) -> float:
+        if not self.cells:
+            return 0.0
+        return float(np.mean([c.coverage for c in self.cells]))
+
+    def type_totals(self) -> Dict[str, int]:
+        totals = {STATIC: 0, DYNAMIC: 0, UNDETECTED: 0}
+        for c in self.cells:
+            for key, value in c.types.items():
+                totals[key] += value
+        return totals
+
+    def redundancy(self) -> float:
+        """Fraction of defects removed by equivalence collapsing."""
+        defects = sum(c.n_defects for c in self.cells)
+        classes = sum(c.n_classes for c in self.cells)
+        return 1.0 - classes / defects if defects else 0.0
+
+    def by_function(self) -> Dict[str, Dict[str, float]]:
+        """Per-function means of coverage and redundancy."""
+        out: Dict[str, Dict[str, float]] = {}
+        groups: Dict[str, List[CellStats]] = {}
+        for c in self.cells:
+            groups.setdefault(c.function, []).append(c)
+        for function, items in groups.items():
+            out[function] = {
+                "cells": len(items),
+                "coverage": float(np.mean([c.coverage for c in items])),
+                "classes": float(np.mean([c.n_classes for c in items])),
+                "simulations": float(np.mean([c.simulations for c in items])),
+            }
+        return out
+
+    def simulations_by_size(self) -> List[Tuple[int, float]]:
+        """(transistor count, mean simulations) series — the scaling curve
+        behind the paper's months-per-library complaint."""
+        groups: Dict[int, List[int]] = {}
+        for c in self.cells:
+            groups.setdefault(c.n_transistors, []).append(c.simulations)
+        return [
+            (size, float(np.mean(values)))
+            for size, values in sorted(groups.items())
+        ]
+
+
+def library_stats(
+    pairs: Iterable[Tuple[CellNetlist, CAModel]]
+) -> LibraryStats:
+    """Build :class:`LibraryStats` from (cell, model) pairs."""
+    stats = LibraryStats()
+    for cell, model in pairs:
+        stats.add(cell, model)
+    return stats

@@ -1,0 +1,91 @@
+"""Stimulus-set generation policies.
+
+The CA-matrix rows are indexed by four-valued stimulus words (Section II.B).
+Three policies are provided:
+
+``static``
+    the 2^n binary patterns only;
+``exhaustive``
+    all of {0,1,R,F}^n = 4^n words: 2^n static + 2^n*(2^n - 1) dynamic
+    (every ordered pair of distinct binary patterns) — the paper's
+    "all the possible input stimuli";
+``adjacent``
+    static patterns plus the n*2^n single-input transitions; this is the
+    classic two-pattern transition set and is used by the scaled
+    experiments for cells with many inputs, where 4^n is impractical.
+
+Words are emitted in a canonical deterministic order: static words first in
+ascending binary order, then dynamic words sorted by (initial pattern,
+final pattern).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.logic.fourval import V4, word_from_phases
+
+Word = Tuple[V4, ...]
+
+POLICIES = ("static", "adjacent", "exhaustive")
+
+
+def static_words(n_inputs: int) -> List[Word]:
+    """The 2^n static stimuli in ascending binary order."""
+    out: List[Word] = []
+    for bits in itertools.product((0, 1), repeat=n_inputs):
+        out.append(word_from_phases(bits, bits))
+    return out
+
+
+def exhaustive_dynamic_words(n_inputs: int) -> List[Word]:
+    """Every ordered pair of distinct binary patterns, as one word."""
+    patterns = list(itertools.product((0, 1), repeat=n_inputs))
+    out: List[Word] = []
+    for initial in patterns:
+        for final in patterns:
+            if initial != final:
+                out.append(word_from_phases(initial, final))
+    return out
+
+
+def adjacent_dynamic_words(n_inputs: int) -> List[Word]:
+    """Pairs of patterns at Hamming distance one (single-input R/F)."""
+    out: List[Word] = []
+    for initial in itertools.product((0, 1), repeat=n_inputs):
+        for position in range(n_inputs):
+            final = list(initial)
+            final[position] = 1 - final[position]
+            out.append(word_from_phases(initial, tuple(final)))
+    return out
+
+
+def stimuli(n_inputs: int, policy: str = "exhaustive") -> List[Word]:
+    """Full stimulus list for a cell with *n_inputs* pins."""
+    if n_inputs < 1:
+        raise ValueError("cell needs at least one input")
+    if policy == "static":
+        return static_words(n_inputs)
+    if policy == "exhaustive":
+        return static_words(n_inputs) + exhaustive_dynamic_words(n_inputs)
+    if policy == "adjacent":
+        return static_words(n_inputs) + adjacent_dynamic_words(n_inputs)
+    raise ValueError(f"unknown stimulus policy {policy!r}; known: {POLICIES}")
+
+
+def expected_count(n_inputs: int, policy: str = "exhaustive") -> int:
+    """Closed-form stimulus count (cross-checked by tests)."""
+    static = 2 ** n_inputs
+    if policy == "static":
+        return static
+    if policy == "exhaustive":
+        return static * static  # 2^n + 2^n(2^n - 1) = 4^n
+    if policy == "adjacent":
+        return static + n_inputs * static
+    raise ValueError(f"unknown stimulus policy {policy!r}; known: {POLICIES}")
+
+
+def is_dynamic_word(word: Sequence[V4]) -> bool:
+    """True when the word carries at least one transition."""
+    return any(v.is_dynamic for v in word)

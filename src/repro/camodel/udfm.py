@@ -1,0 +1,121 @@
+"""UDFM-style export of CA models.
+
+Industrial CA models are delivered as User-Defined Fault Model (UDFM)
+files consumed by ATPG: per cell, per fault, a list of test alternatives,
+each a set of pin conditions that detects the fault.  This module writes
+and reads a UDFM-flavoured text format:
+
+```
+UDFM {
+  version: 1;
+  cell("S28_ND2X1") {
+    fault("D0") {  // open on M0.D
+      test { statics: A=0, B=1; }
+      test { transitions: A=R, B=1; }
+    }
+  }
+}
+```
+
+One ``test`` block is emitted per detecting stimulus of the defect's
+equivalence-class representative (optionally capped), which is exactly
+the "detection conditions" payload the paper describes CA models carrying.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.camodel.model import CAModel
+from repro.logic.fourval import V4, parse_word
+
+
+def _condition(model: CAModel, stimulus_index: int) -> Tuple[str, str]:
+    """(kind, rendered pin conditions) of one stimulus."""
+    word = model.stimuli[stimulus_index]
+    dynamic = any(v.is_dynamic for v in word)
+    kind = "transitions" if dynamic else "statics"
+    pins = ", ".join(
+        f"{pin}={symbol}" for pin, symbol in zip(model.inputs, word)
+    )
+    return kind, pins
+
+
+def to_udfm(
+    model: CAModel,
+    max_tests_per_fault: int = 4,
+    collapse_equivalent: bool = True,
+    include_undetected: bool = False,
+) -> str:
+    """Render one CA model as UDFM text."""
+    lines: List[str] = ["UDFM {", "  version: 1;", f'  cell("{model.cell_name}") {{']
+    if collapse_equivalent:
+        entries = [
+            (c.representative, c.members, c.detection)
+            for c in model.equivalence()
+        ]
+    else:
+        entries = [
+            (d.name, (d.name,), tuple(model.detection[i]))
+            for i, d in enumerate(model.defects)
+        ]
+    for representative, members, detection in entries:
+        detecting = [i for i, bit in enumerate(detection) if bit]
+        if not detecting and not include_undetected:
+            continue
+        defect = model.defects[model.defect_index(representative)]
+        alias = "" if len(members) == 1 else f"  // +{len(members) - 1} equivalent"
+        lines.append(f'    fault("{representative}") {{  // {defect.describe()}{alias}')
+        for index in detecting[:max_tests_per_fault]:
+            kind, pins = _condition(model, index)
+            lines.append(f"      test {{ {kind}: {pins}; }}")
+        lines.append("    }")
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_udfm(model: CAModel, path: Union[str, Path], **kwargs) -> Path:
+    """Write UDFM text to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_udfm(model, **kwargs))
+    return path
+
+
+_FAULT_RE = re.compile(r'fault\("([^"]+)"\)')
+_CELL_RE = re.compile(r'cell\("([^"]+)"\)')
+_TEST_RE = re.compile(r"test \{ (statics|transitions): ([^;]+); \}")
+
+
+def parse_udfm(text: str) -> Dict[str, Dict[str, List[Dict[str, str]]]]:
+    """Parse UDFM text into ``{cell: {fault: [ {pin: symbol}, ... ]}}``.
+
+    A light reader sufficient for round-trip checks and for consuming the
+    exported files in scripted flows.
+    """
+    cells: Dict[str, Dict[str, List[Dict[str, str]]]] = {}
+    current_cell: Optional[str] = None
+    current_fault: Optional[str] = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        cell_match = _CELL_RE.search(stripped)
+        if cell_match:
+            current_cell = cell_match.group(1)
+            cells[current_cell] = {}
+            continue
+        fault_match = _FAULT_RE.search(stripped)
+        if fault_match and current_cell is not None:
+            current_fault = fault_match.group(1)
+            cells[current_cell][current_fault] = []
+            continue
+        test_match = _TEST_RE.search(stripped)
+        if test_match and current_cell is not None and current_fault is not None:
+            conditions = {}
+            for assignment in test_match.group(2).split(","):
+                pin, _, symbol = assignment.strip().partition("=")
+                conditions[pin] = symbol
+            cells[current_cell][current_fault].append(conditions)
+    return cells

@@ -1,0 +1,230 @@
+"""Command-line interface.
+
+Subcommands mirror the flows of the paper::
+
+    python -m repro generate  CELL.sp -o model.json     # Fig. 1
+    python -m repro rename    CELL.sp                   # Section III
+    python -m repro predict   CELL.sp -t models.json    # Fig. 2
+    python -m repro hybrid    CELLS.sp -t models.json   # Fig. 7
+    python -m repro catalog                             # list functions
+    python -m repro build soi28 NAND2 -d 2              # emit a cell
+    python -m repro table II                            # paper tables
+
+Cells are read from SPICE subcircuit files; ``-t/--training`` takes a CA
+model library JSON produced by ``generate`` (or by the experiment cache).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.camatrix import inference_matrix, rename_transistors, training_matrix
+from repro.camodel import generate_ca_model, load_models, save_model, save_models
+from repro.flow import HybridFlow
+from repro.learning import build_samples
+from repro.library import build_cell, function_names, get_technology
+from repro.spice import parse_library, write_cell
+
+
+def _load_cells(path: str):
+    text = Path(path).read_text()
+    return parse_library(text)
+
+
+def _load_training_samples(paths: List[str]):
+    from repro.learning.datasets import CellSample
+
+    samples = []
+    for path in paths:
+        for model in load_models(path):
+            # rebuild the cell from the registered technology if possible
+            cell = None
+            for tech_name in ("soi28", "c40", "c28"):
+                tech = get_technology(tech_name)
+                if model.cell_name.startswith(tech.cell_prefix + "_"):
+                    cell = _cell_from_name(tech, model.cell_name)
+                    break
+            if cell is None:
+                print(
+                    f"warning: cannot rebuild cell {model.cell_name}; skipped",
+                    file=sys.stderr,
+                )
+                continue
+            matrix = training_matrix(cell, model)
+            samples.append(CellSample(cell=cell, model=model, matrix=matrix))
+    return samples
+
+
+def _cell_from_name(tech, cell_name: str):
+    """Rebuild a builder cell from its canonical name."""
+    remainder = cell_name[len(tech.cell_prefix) + 1 :]
+    flavor_name = "STD"
+    if "_" in remainder:
+        remainder, flavor_name = remainder.split("_", 1)
+    function, _, drive_text = remainder.rpartition("X")
+    flavor = next((f for f in tech.flavors if f.name == flavor_name), None)
+    if flavor is None or not drive_text.isdigit():
+        return None
+    try:
+        return build_cell(tech, function, int(drive_text), flavor)
+    except KeyError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_generate(args) -> int:
+    cells = _load_cells(args.netlist)
+    models = []
+    for cell in cells:
+        model = generate_ca_model(cell, policy=args.policy)
+        models.append(model)
+        print(f"{cell.name}: {model.summary()}")
+    if args.output:
+        if len(models) == 1:
+            save_model(models[0], args.output)
+        else:
+            save_models(models, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_rename(args) -> int:
+    for cell in _load_cells(args.netlist):
+        renamed = rename_transistors(cell)
+        print(f"cell {cell.name}  group={cell.group_key}")
+        print(f"  signature: {renamed.signature}")
+        for branch in renamed.branches:
+            print(
+                f"  branch {branch.index} level={branch.level} "
+                f"exit={branch.exit_net}  {branch.equation.named(renamed.mapping)}"
+            )
+        for old, new in sorted(renamed.mapping.items(), key=lambda kv: kv[1]):
+            print(f"  {old:>8} -> {new:<4} activity={renamed.activity[new]}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    samples = _load_training_samples(args.training)
+    if not samples:
+        print("no usable training models", file=sys.stderr)
+        return 1
+    flow = HybridFlow(samples)
+    for cell in _load_cells(args.netlist):
+        decision = flow.generate(cell, policy=args.policy)
+        print(
+            f"{cell.name}: match={decision.match} route={decision.route} "
+            f"({decision.seconds:.2f}s)"
+        )
+        if args.output and decision.model is not None:
+            save_model(decision.model, args.output)
+            print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_hybrid(args) -> int:
+    samples = _load_training_samples(args.training)
+    if not samples:
+        print("no usable training models", file=sys.stderr)
+        return 1
+    flow = HybridFlow(samples)
+    report = flow.run(_load_cells(args.netlist), policy=args.policy)
+    for decision in report.decisions:
+        print(f"  {decision.cell_name}: {decision.match} -> {decision.route}")
+    for key, value in report.summary().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def cmd_catalog(_args) -> int:
+    from repro.library import CATALOG
+
+    for name in function_names():
+        fdef = CATALOG[name]
+        print(f"{name:<8} inputs={fdef.n_inputs}  {fdef.formula}")
+    return 0
+
+
+def cmd_build(args) -> int:
+    tech = get_technology(args.technology)
+    cell = build_cell(tech, args.function, args.drive)
+    sys.stdout.write(write_cell(cell, tech.dialect))
+    return 0
+
+
+def cmd_table(args) -> int:
+    from repro import experiments
+
+    regenerators = {
+        "I": experiments.table1_training_rows,
+        "II": experiments.table2_activity,
+        "III": experiments.table3_defect_columns,
+        "fig4": experiments.fig4_partial_matrix,
+        "fig5": experiments.fig5_branch_equations,
+        "fig6": experiments.fig6_equivalence_demo,
+    }
+    try:
+        print(regenerators[args.which]())
+    except KeyError:
+        print(f"unknown table {args.which!r}; choose from {sorted(regenerators)}")
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="learning-based CA model generation"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="conventional CA generation (Fig. 1)")
+    p.add_argument("netlist")
+    p.add_argument("-o", "--output")
+    p.add_argument("--policy", default="auto")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("rename", help="canonical transistor renaming")
+    p.add_argument("netlist")
+    p.set_defaults(func=cmd_rename)
+
+    p = sub.add_parser("predict", help="ML CA prediction for one netlist")
+    p.add_argument("netlist")
+    p.add_argument("-t", "--training", action="append", required=True)
+    p.add_argument("-o", "--output")
+    p.add_argument("--policy", default="auto")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("hybrid", help="hybrid generation flow (Fig. 7)")
+    p.add_argument("netlist")
+    p.add_argument("-t", "--training", action="append", required=True)
+    p.add_argument("--policy", default="auto")
+    p.set_defaults(func=cmd_hybrid)
+
+    p = sub.add_parser("catalog", help="list cell functions")
+    p.set_defaults(func=cmd_catalog)
+
+    p = sub.add_parser("build", help="emit one synthetic cell as SPICE")
+    p.add_argument("technology")
+    p.add_argument("function")
+    p.add_argument("-d", "--drive", type=int, default=1)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("table", help="print a paper table / figure")
+    p.add_argument("which")
+    p.set_defaults(func=cmd_table)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Cell-internal defect models, universes and equivalence classes."""
+
+from repro.defects.model import Defect, INTER_SHORT, OPEN, SHORT
+from repro.defects.universe import (
+    TERMINAL_PAIRS,
+    default_universe,
+    enumerate_inter_shorts,
+    enumerate_opens,
+    enumerate_shorts,
+)
+from repro.defects.weights import WeightModel, defect_weights, weighted_coverage
+from repro.defects.equivalence import (
+    EquivalenceClass,
+    collapse_ratio,
+    equivalence_classes,
+)
+
+__all__ = [
+    "Defect",
+    "OPEN",
+    "SHORT",
+    "INTER_SHORT",
+    "TERMINAL_PAIRS",
+    "default_universe",
+    "enumerate_opens",
+    "enumerate_shorts",
+    "enumerate_inter_shorts",
+    "EquivalenceClass",
+    "equivalence_classes",
+    "collapse_ratio",
+    "WeightModel",
+    "defect_weights",
+    "weighted_coverage",
+]

@@ -1,0 +1,74 @@
+"""Defect equivalence classification.
+
+After simulation, "all cell-internal defects are classified into defect
+equivalence classes with their detection information" (paper, Section I).
+Two defects are equivalent when their detection rows are identical over the
+full stimulus set: no test can distinguish them, so the CA model keeps one
+representative per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EquivalenceClass:
+    """A set of test-indistinguishable defects."""
+
+    representative: str
+    members: Tuple[str, ...]
+    #: shared detection row over the stimulus set
+    detection: Tuple[int, ...]
+
+    @property
+    def is_undetectable(self) -> bool:
+        return not any(self.detection)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def equivalence_classes(
+    detection: np.ndarray, defect_names: Sequence[str]
+) -> List[EquivalenceClass]:
+    """Group defects with identical detection rows.
+
+    *detection* is a (defects x stimuli) 0/1 matrix; row order matches
+    *defect_names*.  Classes are returned in order of first appearance, so
+    the representative is the lowest-numbered member.
+    """
+    if detection.shape[0] != len(defect_names):
+        raise ValueError(
+            f"{detection.shape[0]} detection rows for {len(defect_names)} names"
+        )
+    buckets: Dict[bytes, List[int]] = {}
+    order: List[bytes] = []
+    compact = np.ascontiguousarray(detection.astype(np.int8))
+    for i in range(compact.shape[0]):
+        key = compact[i].tobytes()
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(i)
+    classes: List[EquivalenceClass] = []
+    for key in order:
+        rows = buckets[key]
+        classes.append(
+            EquivalenceClass(
+                representative=defect_names[rows[0]],
+                members=tuple(defect_names[i] for i in rows),
+                detection=tuple(int(v) for v in compact[rows[0]]),
+            )
+        )
+    return classes
+
+
+def collapse_ratio(classes: Sequence[EquivalenceClass], n_defects: int) -> float:
+    """Fraction of the universe removed by equivalence collapsing."""
+    if n_defects == 0:
+        return 0.0
+    return 1.0 - len(classes) / n_defects

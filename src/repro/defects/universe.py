@@ -1,0 +1,72 @@
+"""Enumeration of the defect universe of a cell.
+
+The conventional CA flow simulates "each potential defect" (paper, Fig. 1).
+For a cell with T transistors the default universe is:
+
+* 4T terminal opens (D, G, S, B per device),
+* 6T intra-transistor terminal-pair shorts (C(4,2) pairs per device),
+* optionally, inter-transistor shorts between distinct non-rail nets.
+
+Defects are named ``D0, D1, ...`` in enumeration order; the order is a
+deterministic function of the netlist's transistor order, so equivalent
+cells enumerate equivalent universes once transistors are renamed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence
+
+from repro.defects.model import INTER_SHORT, OPEN, SHORT, Defect
+from repro.spice.netlist import TERMINALS, CellNetlist
+
+#: terminal pairs for intra-transistor shorts, in CA-matrix column order
+TERMINAL_PAIRS = tuple(itertools.combinations(TERMINALS, 2))
+
+
+def enumerate_opens(cell: CellNetlist, start: int = 0) -> List[Defect]:
+    """All terminal-open defects of *cell*."""
+    out: List[Defect] = []
+    counter = itertools.count(start)
+    for t in cell.transistors:
+        for term in TERMINALS:
+            out.append(Defect(f"D{next(counter)}", OPEN, (t.name, term)))
+    return out
+
+
+def enumerate_shorts(cell: CellNetlist, start: int = 0) -> List[Defect]:
+    """All intra-transistor terminal-pair shorts of *cell*."""
+    out: List[Defect] = []
+    counter = itertools.count(start)
+    for t in cell.transistors:
+        for a, b in TERMINAL_PAIRS:
+            out.append(Defect(f"D{next(counter)}", SHORT, (t.name, a, b)))
+    return out
+
+
+def enumerate_inter_shorts(cell: CellNetlist, start: int = 0) -> List[Defect]:
+    """Shorts between distinct non-rail nets (not in the default universe,
+    mirroring the paper's scope)."""
+    nets = sorted(cell.nets() - set(cell.rails))
+    out: List[Defect] = []
+    counter = itertools.count(start)
+    for net_a, net_b in itertools.combinations(nets, 2):
+        out.append(Defect(f"D{next(counter)}", INTER_SHORT, (net_a, net_b)))
+    return out
+
+
+def default_universe(
+    cell: CellNetlist,
+    include_opens: bool = True,
+    include_shorts: bool = True,
+    include_inter_shorts: bool = False,
+) -> List[Defect]:
+    """The defect universe characterized by the CA flow for *cell*."""
+    out: List[Defect] = []
+    if include_opens:
+        out.extend(enumerate_opens(cell, start=len(out)))
+    if include_shorts:
+        out.extend(enumerate_shorts(cell, start=len(out)))
+    if include_inter_shorts:
+        out.extend(enumerate_inter_shorts(cell, start=len(out)))
+    return out

@@ -1,0 +1,91 @@
+"""Defect likelihood weighting (critical-area style).
+
+Industrial CA flows weight defects by layout critical area so that
+coverage numbers reflect *silicon* likelihood, not universe counting.
+Without layout, geometry is a solid proxy:
+
+* shorts between a device's terminals scale with its gate area (W x L);
+* opens on a terminal scale with the contact/finger width (~W);
+* bulk-terminal defects carry a small constant weight.
+
+Weighted coverage then answers "what fraction of *likely* defects does
+this pattern set catch?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.defects.model import Defect, INTER_SHORT, OPEN, SHORT
+from repro.spice.netlist import CellNetlist
+
+
+@dataclass(frozen=True)
+class WeightModel:
+    """Coefficients of the geometric likelihood model."""
+
+    open_per_width: float = 1.0
+    short_per_area: float = 4.0
+    bulk_factor: float = 0.1
+    inter_short_base: float = 0.5
+
+    def weight(self, defect: Defect, cell: CellNetlist) -> float:
+        """Relative likelihood of one defect."""
+        if defect.kind == OPEN:
+            name, terminal = defect.location
+            device = cell.transistor(name)
+            base = self.open_per_width * device.w
+            return base * self.bulk_factor if terminal == "B" else base
+        if defect.kind == SHORT:
+            name, term_a, term_b = defect.location
+            device = cell.transistor(name)
+            base = self.short_per_area * device.w * device.l
+            if "B" in (term_a, term_b):
+                return base * self.bulk_factor
+            return base
+        if defect.kind == INTER_SHORT:
+            return self.inter_short_base
+        raise ValueError(f"unknown defect kind {defect.kind!r}")
+
+
+def defect_weights(
+    cell: CellNetlist,
+    defects: Sequence[Defect],
+    model: Optional[WeightModel] = None,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Weight vector aligned with *defects*."""
+    weight_model = model or WeightModel()
+    weights = np.array(
+        [weight_model.weight(d, cell) for d in defects], dtype=np.float64
+    )
+    if normalize and weights.sum() > 0:
+        weights = weights / weights.sum()
+    return weights
+
+
+def weighted_coverage(
+    detection: np.ndarray,
+    weights: np.ndarray,
+    stimulus_subset: Optional[Sequence[int]] = None,
+) -> float:
+    """Likelihood-weighted detected fraction.
+
+    *detection* is (defects x stimuli); with *stimulus_subset* only those
+    columns count (coverage of a compacted pattern set).
+    """
+    detection = np.asarray(detection, dtype=bool)
+    weights = np.asarray(weights, dtype=np.float64)
+    if detection.shape[0] != len(weights):
+        raise ValueError(
+            f"{detection.shape[0]} detection rows vs {len(weights)} weights"
+        )
+    if stimulus_subset is not None:
+        detection = detection[:, list(stimulus_subset)]
+    if weights.sum() == 0:
+        return 0.0
+    detected = detection.any(axis=1)
+    return float(weights[detected].sum() / weights.sum())

@@ -1,0 +1,54 @@
+"""Experiment drivers: one regenerator per paper table / figure."""
+
+from repro.experiments.cache import (
+    DEFAULT_SCALE,
+    cache_path,
+    library_with_models,
+    paired,
+)
+from repro.experiments.reporting import (
+    format_accuracy_grid,
+    format_summary,
+    format_table,
+)
+from repro.experiments.small_tables import (
+    fig4_partial_matrix,
+    fig5_branch_equations,
+    fig5_cell,
+    table1_training_rows,
+    table2_activity,
+    table3_defect_columns,
+)
+from repro.experiments.table4 import (
+    table4a_same_technology,
+    table4bc_cross_technology,
+)
+from repro.experiments.analysis import (
+    AccuracyBandReport,
+    accuracy_bands,
+    fig6_equivalence_demo,
+)
+from repro.experiments.hybrid_study import HybridStudyResult, hybrid_flow_study
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "library_with_models",
+    "paired",
+    "cache_path",
+    "format_table",
+    "format_accuracy_grid",
+    "format_summary",
+    "table1_training_rows",
+    "table2_activity",
+    "table3_defect_columns",
+    "fig4_partial_matrix",
+    "fig5_branch_equations",
+    "fig5_cell",
+    "table4a_same_technology",
+    "table4bc_cross_technology",
+    "accuracy_bands",
+    "AccuracyBandReport",
+    "fig6_equivalence_demo",
+    "hybrid_flow_study",
+    "HybridStudyResult",
+]

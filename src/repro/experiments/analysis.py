@@ -1,0 +1,129 @@
+"""Section V.B analysis: accuracy bands and failure causes.
+
+The paper reports that ~70 % of cross-technology cells predict with
+> 97 % accuracy (68 % for C28, 80 % for C40), and traces the poorly
+predicted remainder to (i) new logic functions absent from the training
+set and (ii) new transistor configurations.  This driver reproduces both
+the bands and the cause attribution by joining the evaluation report with
+the structural index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.experiments.cache import DEFAULT_SCALE, library_with_models, paired
+from repro.experiments.reporting import format_table
+from repro.flow.structure import EQUIVALENT, IDENTICAL, NONE, StructuralIndex
+from repro.learning import build_samples, cross_technology
+from repro.learning.evaluate import EvaluationReport
+from repro.library.technology import get as get_technology
+
+
+@dataclass
+class AccuracyBandReport:
+    """Accuracy bands joined with structural-match categories."""
+
+    eval_tech: str
+    threshold: float
+    fraction_above: float
+    mean_accuracy: float
+    #: structural match -> (count, mean accuracy, fraction above threshold)
+    by_match: Dict[str, Tuple[int, float, float]] = field(default_factory=dict)
+    evaluation: Optional[EvaluationReport] = None
+
+    def render(self) -> str:
+        rows = [
+            (
+                match,
+                count,
+                f"{100 * mean:.2f}",
+                f"{100 * above:.1f}%",
+            )
+            for match, (count, mean, above) in sorted(self.by_match.items())
+        ]
+        rows.append(
+            (
+                "ALL",
+                len(self.evaluation.evaluations) if self.evaluation else 0,
+                f"{100 * self.mean_accuracy:.2f}",
+                f"{100 * self.fraction_above:.1f}%",
+            )
+        )
+        return format_table(
+            ("structural match", "cells", "mean acc", f"> {self.threshold:.0%}"),
+            rows,
+            title=f"Section V.B bands - 28SOI -> {self.eval_tech}",
+        )
+
+
+def accuracy_bands(
+    eval_tech: str,
+    scale: str = DEFAULT_SCALE,
+    threshold: float = 0.97,
+    kinds: Optional[Set[str]] = frozenset({"open"}),
+    verbose: bool = False,
+) -> AccuracyBandReport:
+    """Cross-technology run + per-structural-category accuracy bands."""
+    train_library, train_models = library_with_models("soi28", scale, verbose=verbose)
+    eval_library, eval_models = library_with_models(eval_tech, scale, verbose=verbose)
+    train_samples = build_samples(
+        paired(train_library, train_models), get_technology("soi28").electrical
+    )
+    eval_samples = build_samples(
+        paired(eval_library, eval_models), get_technology(eval_tech).electrical
+    )
+    report = cross_technology(train_samples, eval_samples, kinds=kinds)
+
+    index = StructuralIndex()
+    for sample in train_samples:
+        index.add(sample.matrix.renamed)
+    match_of = {
+        sample.name: index.match(sample.matrix.renamed) for sample in eval_samples
+    }
+
+    buckets: Dict[str, List[float]] = {IDENTICAL: [], EQUIVALENT: [], NONE: []}
+    for evaluation in report.evaluations:
+        buckets[match_of[evaluation.cell_name]].append(evaluation.accuracy)
+
+    by_match: Dict[str, Tuple[int, float, float]] = {}
+    for match, accuracies in buckets.items():
+        if accuracies:
+            array = np.asarray(accuracies)
+            by_match[match] = (
+                len(accuracies),
+                float(array.mean()),
+                float((array > threshold).mean()),
+            )
+    return AccuracyBandReport(
+        eval_tech=eval_tech,
+        threshold=threshold,
+        fraction_above=report.accuracy_fraction_above(threshold),
+        mean_accuracy=report.mean_accuracy(),
+        by_match=by_match,
+        evaluation=report,
+    )
+
+
+def fig6_equivalence_demo(scale: str = DEFAULT_SCALE) -> str:
+    """Fig. 6: show merged/split high-drive signatures and their collapse."""
+    from repro.camatrix import rename_transistors
+    from repro.flow.structure import collapse_parallel_duplicates
+    from repro.library import C40, SOI28, build_cell
+
+    rows = []
+    for tech, style in ((SOI28, "merged"), (C40, "split")):
+        cell = build_cell(tech, "NAND2", 2)
+        renamed = rename_transistors(cell, tech.electrical)
+        collapsed = tuple(
+            collapse_parallel_duplicates(b.equation).anon() for b in renamed.branches
+        )
+        rows.append((tech.name, style, renamed.signature[0], collapsed[0]))
+    return format_table(
+        ("technology", "drive style", "signature", "drive-collapsed"),
+        rows,
+        title="Fig. 6 - equivalent high-drive configurations",
+    )

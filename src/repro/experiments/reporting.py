@@ -1,0 +1,63 @@
+"""Plain-text rendering of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+GroupKey = Tuple[int, int]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(v) for v in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(map(str, headers), widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_accuracy_grid(
+    group_table: Mapping[GroupKey, Mapping[str, float]],
+    title: str = "",
+    mark_perfect: bool = True,
+) -> str:
+    """Render a Table-IV-style grid.
+
+    Rows are transistor counts, columns are input counts; each box shows
+    the group's average prediction accuracy (percent).  A ``*`` marks
+    groups in which at least one cell is perfectly predicted — the paper's
+    green background.
+    """
+    if not group_table:
+        return (title + "\n(empty)") if title else "(empty)"
+    input_counts = sorted({k[0] for k in group_table})
+    transistor_counts = sorted({k[1] for k in group_table})
+    headers = ["#tr \\ #in"] + [str(n) for n in input_counts]
+    rows: List[List[str]] = []
+    for t in transistor_counts:
+        row: List[str] = [str(t)]
+        for n in input_counts:
+            box = group_table.get((n, t))
+            if box is None:
+                row.append("")
+            else:
+                mark = "*" if mark_perfect and box.get("perfect", 0) else ""
+                row.append(f"{100.0 * box['mean']:.2f}{mark}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_summary(summary: Mapping[str, object], title: str = "") -> str:
+    rows = [(key, value) for key, value in summary.items()]
+    return format_table(("metric", "value"), rows, title=title)

@@ -1,0 +1,84 @@
+"""Run every experiment and write a consolidated report.
+
+Usage::
+
+    python -m repro.experiments [--scale bench] [--output report.txt]
+
+Regenerates, in order: Tables I-III, Figs. 4-6, Table IV.a/b/c, the
+Section V.B bands and the Section V.C hybrid study, printing each artifact
+and (optionally) writing everything to one report file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.analysis import accuracy_bands
+from repro.experiments.cache import DEFAULT_SCALE
+from repro.experiments.hybrid_study import hybrid_flow_study
+from repro.experiments.small_tables import (
+    fig4_partial_matrix,
+    fig5_branch_equations,
+    table1_training_rows,
+    table2_activity,
+    table3_defect_columns,
+)
+from repro.experiments.analysis import fig6_equivalence_demo
+from repro.experiments.table4 import (
+    table4a_same_technology,
+    table4bc_cross_technology,
+)
+
+
+def run_all(scale: str = DEFAULT_SCALE, verbose: bool = True) -> List[str]:
+    """Run every experiment; returns the rendered artifacts in order."""
+    artifacts: List[str] = []
+
+    def emit(text: str) -> None:
+        artifacts.append(text)
+        if verbose:
+            print(text)
+            print()
+
+    emit(table1_training_rows())
+    emit(table2_activity())
+    emit(table3_defect_columns())
+    emit(fig4_partial_matrix())
+    emit(fig5_branch_equations())
+    emit(fig6_equivalence_demo())
+
+    started = time.perf_counter()
+    report_a, grid_a = table4a_same_technology(scale)
+    emit(grid_a + f"\nmean accuracy {report_a.mean_accuracy():.4f}, "
+         f">97%: {report_a.accuracy_fraction_above():.1%}")
+    for tech in ("c28", "c40"):
+        report, grid = table4bc_cross_technology(tech, scale)
+        emit(grid + f"\nmean accuracy {report.mean_accuracy():.4f}, "
+             f">97%: {report.accuracy_fraction_above():.1%}, "
+             f"uncovered cells: {len(report.uncovered)}")
+        emit(accuracy_bands(tech, scale).render())
+
+    emit(hybrid_flow_study(scale).render())
+    if verbose:
+        print(f"(evaluation experiments took {time.perf_counter() - started:.0f}s)")
+    return artifacts
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument("--scale", default=DEFAULT_SCALE)
+    parser.add_argument("--output")
+    args = parser.parse_args(argv)
+    artifacts = run_all(scale=args.scale)
+    if args.output:
+        Path(args.output).write_text("\n\n".join(artifacts) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

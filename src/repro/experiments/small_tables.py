@@ -1,0 +1,168 @@
+"""Regenerators for the paper's illustrative tables and figures:
+Table I (training rows), Table II (activity / renaming), Table III
+(defect columns), Fig. 4 (NAND2 partial CA-matrix) and Fig. 5 (branch
+equations of the example schematic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.camatrix import (
+    build_matrix,
+    rename_transistors,
+)
+from repro.camatrix.matrix import FREE_ROW
+from repro.camodel import generate_ca_model
+from repro.defects.model import Defect, INTER_SHORT, SHORT
+from repro.experiments.reporting import format_table
+from repro.library import SOI28, build_cell
+from repro.library.synth import (
+    CellSpec,
+    Leaf,
+    StageSpec,
+    parallel,
+    series,
+    synthesize,
+)
+from repro.logic.fourval import word_to_string
+from repro.spice.netlist import CellNetlist
+
+
+def nand2_cell() -> CellNetlist:
+    """The running NAND2 example of Figs. 4 and Tables I-III."""
+    return build_cell(SOI28, "NAND2", 1)
+
+
+def table1_training_rows(limit: int = 12) -> str:
+    """Table I: example training-dataset rows for a NAND2 cell."""
+    cell = nand2_cell()
+    model = generate_ca_model(cell, params=SOI28.electrical)
+    matrix = build_matrix(cell, model=model, params=SOI28.electrical,
+                          structural_features=False)
+    headers = matrix.columns + ["defect", "type", "detect"]
+    rows: List[List[object]] = []
+    for r in range(matrix.n_rows):
+        d = matrix.row_defect[r]
+        name, kind = ("free", "free") if d == FREE_ROW else (
+            matrix.defects[d].name,
+            matrix.defects[d].kind,
+        )
+        rows.append(list(matrix.features[r]) + [name, kind, int(matrix.labels[r])])
+        if len(rows) >= limit:
+            break
+    # also show one detected row for flavour, mirroring the paper's D15 row
+    detected = [
+        r
+        for r in range(matrix.n_rows)
+        if matrix.labels[r] == 1 and matrix.row_defect[r] != FREE_ROW
+    ]
+    for r in detected[:2]:
+        d = matrix.row_defect[r]
+        rows.append(
+            list(matrix.features[r])
+            + [matrix.defects[d].name, matrix.defects[d].kind, 1]
+        )
+    return format_table(headers, rows, title="Table I - training rows (NAND2)")
+
+
+def table2_activity() -> str:
+    """Table II: activity values and renaming of the NAND2 transistors."""
+    cell = nand2_cell()
+    renamed = rename_transistors(cell, SOI28.electrical)
+    headers = ("old name", "type", "activity value", "new name")
+    rows = []
+    for t in cell.transistors:
+        new = renamed.mapping[t.name]
+        rows.append((t.name, t.ttype, renamed.activity[new], new))
+    rows.sort(key=lambda r: r[3])
+    return format_table(headers, rows, title="Table II - NAND2 activity values")
+
+
+def table3_defect_columns() -> str:
+    """Table III: defect-description columns for an intra-transistor
+    drain-source short on P1 and an inter-transistor short on P0's source."""
+    cell = nand2_cell()
+    renamed = rename_transistors(cell, SOI28.electrical)
+    reverse = {new: old for old, new in renamed.mapping.items()}
+    p1_old = reverse["P1"]
+    p0_old = reverse["P0"]
+    intra = Defect("D_intra", SHORT, (p1_old, "D", "S"))
+    net0 = cell.transistor(reverse["N0"]).source  # net between N0 and N1
+    p0_source = cell.transistor(p0_old).source
+    inter = Defect("D_inter", INTER_SHORT, (p0_source, net0))
+
+    names = renamed.canonical_names()
+    headers = ["defect"] + [f"{n}_{t}" for n in names for t in ("D", "G", "S", "B")]
+    rows = []
+    for defect, comment in (
+        (intra, "source-drain short on P1"),
+        (inter, "net0 & P0-source short"),
+    ):
+        marked = {
+            (renamed.mapping[t], term)
+            for t, term in defect.affected_terminals(cell)
+        }
+        row: List[object] = [comment]
+        for n in names:
+            for term in ("D", "G", "S", "B"):
+                row.append(1 if (n, term) in marked else 0)
+        rows.append(row)
+    return format_table(headers, rows, title="Table III - defect columns (NAND2)")
+
+
+def fig4_partial_matrix(limit: int = 8) -> str:
+    """Fig. 4(b): the partial CA-matrix of the NAND2 cell (stimuli,
+    response and per-transistor activity)."""
+    cell = nand2_cell()
+    model = generate_ca_model(cell, params=SOI28.electrical)
+    matrix = build_matrix(cell, model=model, params=SOI28.electrical,
+                          structural_features=False)
+    n = cell.n_inputs
+    names = matrix.renamed.canonical_names()
+    headers = ["stimulus"] + list(matrix.columns[: n + 1 + len(names)])
+    rows = []
+    for r in range(min(limit, len(matrix.stimuli))):
+        word = word_to_string(matrix.stimuli[matrix.row_stimulus[r]])
+        rows.append([word] + list(matrix.features[r][: n + 1 + len(names)]))
+    return format_table(headers, rows, title="Fig. 4b - partial CA-matrix (NAND2)")
+
+
+def fig5_cell() -> CellNetlist:
+    """The Fig. 5 example: an NMOS network ((N0&(N1|N2))|N3) driving net Y
+    through a complementary stage, buffered by an output inverter."""
+    spec = CellSpec(
+        function="FIG5",
+        inputs=("A", "B", "C", "D"),
+        output="Z",
+        stages=(
+            StageSpec(
+                out="Y",
+                pulldown=parallel(
+                    series(Leaf("A"), parallel(Leaf("B"), Leaf("C"))), Leaf("D")
+                ),
+            ),
+            StageSpec(out="Z", pulldown=Leaf("Y")),
+        ),
+    )
+    return synthesize(spec, "FIG5")
+
+
+def fig5_branch_equations() -> str:
+    """Fig. 5: branch equations, anonymized and sorted."""
+    cell = fig5_cell()
+    renamed = rename_transistors(cell)
+    headers = ("branch", "level", "#tr", "exit", "anonymized", "named")
+    rows = []
+    for b in renamed.branches:
+        rows.append(
+            (
+                b.index,
+                b.level,
+                b.n_devices,
+                b.exit_net,
+                b.anon,
+                b.equation.named(renamed.mapping),
+            )
+        )
+    return format_table(headers, rows, title="Fig. 5 - branch equations")

@@ -1,0 +1,66 @@
+"""Table IV regenerators: prediction-accuracy grids.
+
+* :func:`table4a_same_technology` — leave-one-cell-out over the 28SOI
+  library (Table IV.a),
+* :func:`table4bc_cross_technology` — train on 28SOI, evaluate C28
+  (Table IV.b) or C40 (Table IV.c).
+
+Each returns the :class:`~repro.learning.evaluate.EvaluationReport` plus a
+rendered grid.  Scaled-down libraries are used by default (see
+DESIGN.md); the *shape* of the results — same-technology near 100 % with
+many perfect cells, cross-technology bimodal with C40 transferring better
+than C28 — is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.experiments.cache import DEFAULT_SCALE, library_with_models, paired
+from repro.experiments.reporting import format_accuracy_grid
+from repro.learning import build_samples, cross_technology, leave_one_out
+from repro.learning.evaluate import EvaluationReport
+from repro.library.technology import get as get_technology
+
+
+def table4a_same_technology(
+    scale: str = DEFAULT_SCALE,
+    kinds: Optional[Set[str]] = frozenset({"open"}),
+    verbose: bool = False,
+) -> Tuple[EvaluationReport, str]:
+    """Table IV.a: predicting defect behaviour on the same technology."""
+    library, models = library_with_models("soi28", scale, verbose=verbose)
+    samples = build_samples(paired(library, models), get_technology("soi28").electrical)
+    report = leave_one_out(samples, kinds=kinds)
+    grid = format_accuracy_grid(
+        report.group_table(),
+        title=f"Table IV.a - 28SOI leave-one-out ({scale} scale, "
+        f"{sorted(kinds) if kinds else 'all'} defects)",
+    )
+    return report, grid
+
+
+def table4bc_cross_technology(
+    eval_tech: str,
+    scale: str = DEFAULT_SCALE,
+    kinds: Optional[Set[str]] = frozenset({"open"}),
+    verbose: bool = False,
+) -> Tuple[EvaluationReport, str]:
+    """Tables IV.b ('c28') and IV.c ('c40'): train on 28SOI, predict the
+    other technology."""
+    train_library, train_models = library_with_models("soi28", scale, verbose=verbose)
+    eval_library, eval_models = library_with_models(eval_tech, scale, verbose=verbose)
+    train_samples = build_samples(
+        paired(train_library, train_models), get_technology("soi28").electrical
+    )
+    eval_samples = build_samples(
+        paired(eval_library, eval_models), get_technology(eval_tech).electrical
+    )
+    report = cross_technology(train_samples, eval_samples, kinds=kinds)
+    label = "IV.b" if eval_tech == "c28" else "IV.c"
+    grid = format_accuracy_grid(
+        report.group_table(),
+        title=f"Table {label} - train 28SOI, evaluate {eval_tech} "
+        f"({scale} scale, {sorted(kinds) if kinds else 'all'} defects)",
+    )
+    return report, grid

@@ -1,0 +1,38 @@
+"""Hybrid generation flow: structural analysis, routing, cost model."""
+
+from repro.flow.structure import (
+    EQUIVALENT,
+    IDENTICAL,
+    NONE,
+    StructuralIndex,
+    collapse_parallel_duplicates,
+    equivalent_signature,
+    exact_signature,
+)
+from repro.flow.cost import CostModel, GenerationLedger, SECONDS_PER_DAY
+from repro.flow.similarity import (
+    SimilarityIndex,
+    branch_profile,
+    structural_similarity,
+)
+from repro.flow.hybrid import RELAXED, CellDecision, HybridFlow, HybridReport
+
+__all__ = [
+    "RELAXED",
+    "SimilarityIndex",
+    "structural_similarity",
+    "branch_profile",
+    "IDENTICAL",
+    "EQUIVALENT",
+    "NONE",
+    "StructuralIndex",
+    "exact_signature",
+    "equivalent_signature",
+    "collapse_parallel_duplicates",
+    "CostModel",
+    "GenerationLedger",
+    "SECONDS_PER_DAY",
+    "HybridFlow",
+    "HybridReport",
+    "CellDecision",
+]

@@ -1,0 +1,125 @@
+"""Relaxed structural matching — the paper's flagged improvement.
+
+Section V.C observes that the exact/equivalent structural analysis clears
+only ~50 % of C40 cells for ML although ~80 % are in fact predicted well,
+and concludes "there is still room for further improvement of the
+structural analysis".  This module implements that improvement: a graded
+*structural similarity score* between a new cell and the training cells of
+its group, from which a relaxed router admits cells the binary analysis
+would send to simulation.
+
+The score compares drive-collapsed branch equations level by level:
+
+* branches whose collapsed equations are identical count fully;
+* otherwise the equations' operand multisets are compared with a Jaccard
+  index, discounted by depth mismatch.
+
+A score of 1.0 corresponds to the EQUIVALENT verdict of
+:mod:`repro.flow.structure`; the relaxed router admits cells above a
+configurable threshold (default 0.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.camatrix.branches import EqLeaf, EqNode
+from repro.camatrix.rename import RenamedCell
+from repro.flow.structure import collapse_parallel_duplicates
+
+GroupKey = Tuple[int, int]
+
+
+def _equation_tokens(node: EqNode, prefix: str = "") -> List[str]:
+    """Multiset of structural tokens of one (collapsed) equation.
+
+    Each leaf contributes two tokens: its operator path with the device
+    polarity appended, and the bare operator path.  The polarity-less
+    token lets dual structures (a NAND and a NOR) register as *related*
+    rather than disjoint, which grades the score instead of snapping it
+    to zero.
+    """
+    if isinstance(node, EqLeaf):
+        polarity = "n" if node.device.is_nmos else "p"
+        return [f"{prefix}{polarity}", prefix or "."]
+    symbol = node.symbol  # type: ignore[attr-defined]
+    out: List[str] = []
+    for child in node.children:  # type: ignore[attr-defined]
+        out.extend(_equation_tokens(child, prefix + symbol))
+    return out
+
+
+def _jaccard(a: Sequence[str], b: Sequence[str]) -> float:
+    """Multiset Jaccard index."""
+    from collections import Counter
+
+    ca, cb = Counter(a), Counter(b)
+    intersection = sum((ca & cb).values())
+    union = sum((ca | cb).values())
+    return intersection / union if union else 1.0
+
+
+def branch_profile(renamed: RenamedCell) -> List[Tuple[int, List[str]]]:
+    """(level, token multiset) per branch, drive-collapsed."""
+    profile = []
+    for branch in renamed.branches:
+        collapsed = collapse_parallel_duplicates(branch.equation)
+        profile.append((branch.level, _equation_tokens(collapsed)))
+    return profile
+
+
+def structural_similarity(a: RenamedCell, b: RenamedCell) -> float:
+    """Similarity in [0, 1]; 1.0 iff the collapsed structures coincide."""
+    profile_a = branch_profile(a)
+    profile_b = branch_profile(b)
+    if not profile_a or not profile_b:
+        return 0.0
+    # Greedy one-to-one matching of branches, same level preferred.
+    remaining = list(profile_b)
+    total = 0.0
+    for level_a, tokens_a in profile_a:
+        best_index, best_score = -1, -1.0
+        for i, (level_b, tokens_b) in enumerate(remaining):
+            score = _jaccard(tokens_a, tokens_b)
+            if level_a != level_b:
+                score *= 0.5
+            if score > best_score:
+                best_index, best_score = i, score
+        if best_index >= 0:
+            total += best_score
+            remaining.pop(best_index)
+    n = max(len(profile_a), len(profile_b))
+    return total / n
+
+
+@dataclass
+class SimilarityIndex:
+    """Stores training structures; answers best-similarity queries."""
+
+    #: group -> list of training RenamedCells
+    entries: Dict[GroupKey, List[RenamedCell]] = field(default_factory=dict)
+
+    def add(self, renamed: RenamedCell) -> None:
+        key = renamed.original.group_key
+        self.entries.setdefault(key, []).append(renamed)
+
+    def add_all(self, renamed_cells: Iterable[RenamedCell]) -> None:
+        for renamed in renamed_cells:
+            self.add(renamed)
+
+    def best_match(self, renamed: RenamedCell) -> Tuple[float, Optional[str]]:
+        """(best similarity, matching training cell name) within the group."""
+        key = renamed.original.group_key
+        best_score, best_name = 0.0, None
+        for candidate in self.entries.get(key, ()):  # same group only
+            score = structural_similarity(renamed, candidate)
+            if score > best_score:
+                best_score = score
+                best_name = candidate.original.name
+        return best_score, best_name
+
+    def admits(self, renamed: RenamedCell, threshold: float = 0.6) -> bool:
+        """Relaxed routing decision: admit to the ML path?"""
+        score, _name = self.best_match(renamed)
+        return score >= threshold

@@ -1,0 +1,103 @@
+"""Structural analysis for the hybrid flow (Sections V.B / V.C).
+
+Decides, before any prediction, whether the ML path is expected to produce
+a high-quality CA model for a new cell:
+
+* **identical** — the training set contains a cell of the same
+  (#inputs, #transistors) group with exactly the same transistor structure
+  (equal anonymized branch-equation signature);
+* **equivalent** — same group, and the signatures become equal after
+  collapsing structurally identical parallel copies — precisely the
+  "presence or absence of the red net" difference between the two Fig. 6
+  high-drive configurations;
+* **none** — no structural support; the paper routes such cells to the
+  conventional simulation flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.camatrix.branches import EqLeaf, EqNode, EqParallel, EqSeries
+from repro.camatrix.rename import RenamedCell
+
+IDENTICAL = "identical"
+EQUIVALENT = "equivalent"
+NONE = "none"
+
+GroupKey = Tuple[int, int]
+
+
+def collapse_parallel_duplicates(node: EqNode) -> EqNode:
+    """Deduplicate structurally identical parallel operands, recursively.
+
+    ``((1n|1n)&(1n|1n))`` (merged high-drive) and ``((1n&1n)|(1n&1n))``
+    (split high-drive) both collapse to ``(1n&1n)`` — the normal form in
+    which the two Fig. 6 configurations coincide.
+    """
+    if isinstance(node, EqLeaf):
+        return node
+    children = [collapse_parallel_duplicates(c) for c in node.children]  # type: ignore[attr-defined]
+    if isinstance(node, EqSeries):
+        if len(children) == 1:
+            return children[0]
+        return EqSeries(*children)
+    unique: List[EqNode] = []
+    seen: Set[str] = set()
+    for child in children:
+        key = child.anon()
+        if key not in seen:
+            seen.add(key)
+            unique.append(child)
+    if len(unique) == 1:
+        return unique[0]
+    return EqParallel(*unique)
+
+
+def exact_signature(renamed: RenamedCell) -> Tuple[str, ...]:
+    """Ordered anonymized branch equations (identity of structure)."""
+    return renamed.signature
+
+
+def equivalent_signature(renamed: RenamedCell) -> Tuple[Tuple[int, str], ...]:
+    """Signature after drive-collapse normalization.
+
+    Branch levels are kept: an AND2 (inverter driving the output, NAND
+    behind it) must not alias a NAND2B (NAND driving the output, inverter
+    behind it) even though their collapsed equation *sets* coincide.
+    """
+    return tuple(
+        sorted(
+            (branch.level, collapse_parallel_duplicates(branch.equation).anon())
+            for branch in renamed.branches
+        )
+    )
+
+
+@dataclass
+class StructuralIndex:
+    """Signature store over a training set, queried per new cell."""
+
+    exact: Dict[GroupKey, Set[Tuple[str, ...]]] = field(default_factory=dict)
+    collapsed: Dict[GroupKey, Set[Tuple[str, ...]]] = field(default_factory=dict)
+    n_cells: int = 0
+
+    def add(self, renamed: RenamedCell) -> None:
+        key = renamed.original.group_key
+        self.exact.setdefault(key, set()).add(exact_signature(renamed))
+        self.collapsed.setdefault(key, set()).add(equivalent_signature(renamed))
+        self.n_cells += 1
+
+    def add_all(self, renamed_cells: Iterable[RenamedCell]) -> None:
+        for renamed in renamed_cells:
+            self.add(renamed)
+
+    def match(self, renamed: RenamedCell) -> str:
+        """Classify a new cell: identical / equivalent / none."""
+        key = renamed.original.group_key
+        if exact_signature(renamed) in self.exact.get(key, ()):
+            return IDENTICAL
+        if equivalent_signature(renamed) in self.collapsed.get(key, ()):
+            return EQUIVALENT
+        return NONE

@@ -1,0 +1,112 @@
+"""Dataset assembly: libraries of CA models -> grouped training matrices.
+
+"Cells with the same number of inputs and having the same number of
+transistors are grouped together to form the Training dataset"
+(Section II.B).  A :class:`CellSample` bundles one cell with its CA model
+and CA-matrix; group utilities pool and stack samples, optionally
+restricted to one fault model at a time (the paper evaluates open and
+short defects separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.camatrix.matrix import CAMatrix, FREE_ROW
+from repro.camatrix.pipeline import training_matrix
+from repro.camodel.model import CAModel
+from repro.library.builder import Library
+from repro.library.technology import ElectricalParams
+from repro.spice.netlist import CellNetlist
+
+GroupKey = Tuple[int, int]
+
+
+@dataclass
+class CellSample:
+    """One cell with its generated CA model and CA-matrix."""
+
+    cell: CellNetlist
+    model: CAModel
+    matrix: CAMatrix
+
+    @property
+    def name(self) -> str:
+        return self.cell.name
+
+    @property
+    def group_key(self) -> GroupKey:
+        return self.cell.group_key
+
+
+def build_samples(
+    cells_with_models: Iterable[Tuple[CellNetlist, CAModel]],
+    params: Optional[ElectricalParams] = None,
+) -> List[CellSample]:
+    """Build labelled samples from (cell, CA model) pairs."""
+    out: List[CellSample] = []
+    for cell, model in cells_with_models:
+        out.append(
+            CellSample(cell=cell, model=model, matrix=training_matrix(cell, model, params))
+        )
+    return out
+
+
+def group_samples(samples: Iterable[CellSample]) -> Dict[GroupKey, List[CellSample]]:
+    """Pool samples by (#inputs, #transistors)."""
+    groups: Dict[GroupKey, List[CellSample]] = {}
+    for sample in samples:
+        groups.setdefault(sample.group_key, []).append(sample)
+    return groups
+
+
+def kind_row_mask(matrix: CAMatrix, kinds: Optional[Set[str]]) -> np.ndarray:
+    """Row mask selecting free rows plus defects of the wanted kinds."""
+    if kinds is None:
+        return np.ones(matrix.n_rows, dtype=bool)
+    kind_of = np.array(
+        [d.kind in kinds for d in matrix.defects], dtype=bool
+    )
+    mask = np.empty(matrix.n_rows, dtype=bool)
+    for row in range(matrix.n_rows):
+        d = matrix.row_defect[row]
+        mask[row] = True if d == FREE_ROW else bool(kind_of[d])
+    return mask
+
+
+def sample_rows(
+    sample: CellSample,
+    kinds: Optional[Set[str]] = None,
+    max_rows: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(X, y) rows of one sample, optionally kind-filtered and subsampled."""
+    mask = kind_row_mask(sample.matrix, kinds)
+    X = sample.matrix.features[mask]
+    y = sample.matrix.labels[mask]
+    if max_rows is not None and len(X) > max_rows:
+        rng = np.random.default_rng(seed)
+        index = rng.choice(len(X), size=max_rows, replace=False)
+        X, y = X[index], y[index]
+    return X, y
+
+
+def stack_group(
+    samples: Sequence[CellSample],
+    kinds: Optional[Set[str]] = None,
+    max_rows_per_cell: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack several samples of one group into a training set."""
+    if not samples:
+        raise ValueError("empty group")
+    parts = [
+        sample_rows(s, kinds=kinds, max_rows=max_rows_per_cell, seed=seed + i)
+        for i, s in enumerate(samples)
+    ]
+    X = np.vstack([p[0] for p in parts])
+    y = np.concatenate([p[1] for p in parts])
+    return X, y

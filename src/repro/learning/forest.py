@@ -1,0 +1,87 @@
+"""Random Forest classifier (the paper's chosen algorithm, Section II.B).
+
+"A Random Forest Classifier is composed of several Decision Tree
+Classifiers ... the Forest averages the responses of all Trees and outputs
+the class of the data sample."  Each tree is fitted on a bootstrap sample
+with a random feature subset considered per split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.learning.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated CART ensemble with soft voting."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        max_features: object = "sqrt",
+        bootstrap: bool = True,
+        max_samples: Optional[float] = None,
+        random_state: Optional[int] = None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.max_samples = max_samples
+        self.random_state = random_state
+        self.estimators_: List[DecisionTreeClassifier] = []
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X)
+        y = np.asarray(y)
+        if len(X) != len(y):
+            raise ValueError("X and y are misaligned")
+        rng = np.random.default_rng(self.random_state)
+        self.classes_ = np.unique(y)
+        self.estimators_ = []
+        n = len(X)
+        sample_size = n
+        if self.max_samples is not None:
+            sample_size = max(1, int(self.max_samples * n))
+        for i in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            if self.bootstrap:
+                index = rng.integers(0, n, size=sample_size)
+            else:
+                index = np.arange(n)
+            tree.fit(X[index], y[index])
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X)
+        accumulated = np.zeros((len(X), len(self.classes_)))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            # align tree classes (a bootstrap can miss a class entirely)
+            for j, cls in enumerate(tree.classes_):
+                k = int(np.searchsorted(self.classes_, cls))
+                accumulated[:, k] += proba[:, j]
+        return accumulated / len(self.estimators_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy, scikit-learn style."""
+        return float((self.predict(X) == np.asarray(y)).mean())

@@ -1,0 +1,62 @@
+"""k-nearest-neighbours classifier (one of the paper's compared baselines)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KNeighborsClassifier:
+    """Brute-force k-NN with Hamming or Euclidean distance.
+
+    Hamming distance is the natural metric for the CA-matrix's categorical
+    integer codes and is the default.
+    """
+
+    def __init__(self, n_neighbors: int = 5, metric: str = "hamming", chunk_size: int = 256):
+        if metric not in ("hamming", "euclidean"):
+            raise ValueError(f"unsupported metric {metric!r}")
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+        self.chunk_size = chunk_size
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X = np.asarray(X)
+        y = np.asarray(y)
+        if len(X) != len(y):
+            raise ValueError("X and y are misaligned")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._X = X.astype(np.int16 if self.metric == "hamming" else np.float64)
+        self.classes_, self._y = np.unique(y, return_inverse=True)
+        return self
+
+    def _distances(self, chunk: np.ndarray) -> np.ndarray:
+        assert self._X is not None
+        if self.metric == "hamming":
+            return (chunk[:, None, :] != self._X[None, :, :]).sum(axis=2)
+        diff = chunk[:, None, :].astype(np.float64) - self._X[None, :, :]
+        return np.einsum("ijk,ijk->ij", diff, diff)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X).astype(self._X.dtype)
+        k = min(self.n_neighbors, len(self._X))
+        out = np.zeros((len(X), len(self.classes_)))
+        for start in range(0, len(X), self.chunk_size):
+            chunk = X[start : start + self.chunk_size]
+            distances = self._distances(chunk)
+            neighbors = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            votes = self._y[neighbors]
+            for j in range(len(self.classes_)):
+                out[start : start + len(chunk), j] = (votes == j).mean(axis=1)
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

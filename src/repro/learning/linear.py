@@ -1,0 +1,150 @@
+"""Linear classifiers the paper compared against Random Forest:
+ridge regression classifier, logistic regression and a linear SVM.
+
+All are NumPy implementations; binary and one-vs-rest multiclass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_bias(X: np.ndarray) -> np.ndarray:
+    return np.hstack([X, np.ones((len(X), 1))])
+
+
+class RidgeClassifier:
+    """Least-squares classifier with L2 regularization (closed form)."""
+
+    def __init__(self, alpha: float = 1.0):
+        self.alpha = alpha
+        self.coef_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeClassifier":
+        X = _add_bias(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        targets = np.full((len(y), len(self.classes_)), -1.0)
+        targets[np.arange(len(y)), encoded] = 1.0
+        gram = X.T @ X + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, X.T @ targets)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("classifier is not fitted")
+        return _add_bias(np.asarray(X, dtype=np.float64)) @ self.coef_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]
+
+
+class LogisticRegression:
+    """Binary / one-vs-rest logistic regression, full-batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        n_iterations: int = 300,
+        l2: float = 1e-3,
+    ):
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.coef_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = _add_bias(np.asarray(X, dtype=np.float64))
+        # Feature scaling keeps the fixed learning rate stable.
+        self._scale = np.maximum(np.abs(X).max(axis=0), 1.0)
+        X = X / self._scale
+        y = np.asarray(y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        weights = np.zeros((X.shape[1], n_classes))
+        for j in range(n_classes):
+            target = (encoded == j).astype(np.float64)
+            w = weights[:, j]
+            for _ in range(self.n_iterations):
+                p = self._sigmoid(X @ w)
+                gradient = X.T @ (p - target) / len(X) + self.l2 * w
+                w = w - self.learning_rate * gradient
+            weights[:, j] = w
+        self.coef_ = weights
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X = _add_bias(np.asarray(X, dtype=np.float64)) / self._scale
+        return X @ self.coef_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = self._sigmoid(self.decision_function(X))
+        totals = scores.sum(axis=1, keepdims=True)
+        return scores / np.maximum(totals, 1e-12)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]
+
+
+class LinearSVC:
+    """Linear SVM trained with the Pegasos sub-gradient method."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        n_iterations: int = 2000,
+        batch_size: int = 64,
+        random_state: Optional[int] = None,
+    ):
+        self.C = C
+        self.n_iterations = n_iterations
+        self.batch_size = batch_size
+        self.random_state = random_state
+        self.coef_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVC":
+        X = _add_bias(np.asarray(X, dtype=np.float64))
+        self._scale = np.maximum(np.abs(X).max(axis=0), 1.0)
+        X = X / self._scale
+        y = np.asarray(y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        rng = np.random.default_rng(self.random_state)
+        lam = 1.0 / (self.C * len(X))
+        weights = np.zeros((X.shape[1], len(self.classes_)))
+        for j in range(len(self.classes_)):
+            signs = np.where(encoded == j, 1.0, -1.0)
+            w = np.zeros(X.shape[1])
+            for t in range(1, self.n_iterations + 1):
+                batch = rng.integers(0, len(X), size=min(self.batch_size, len(X)))
+                margins = signs[batch] * (X[batch] @ w)
+                violators = batch[margins < 1.0]
+                eta = 1.0 / (lam * t)
+                gradient = lam * w
+                if len(violators):
+                    gradient = gradient - (
+                        X[violators].T @ signs[violators]
+                    ) / len(batch)
+                w = w - eta * gradient
+            weights[:, j] = w
+        self.coef_ = weights
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X = _add_bias(np.asarray(X, dtype=np.float64)) / self._scale
+        return X @ self.coef_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]

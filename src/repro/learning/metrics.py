@@ -1,0 +1,61 @@
+"""Classification metrics (accuracy is the paper's reported figure)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions — the paper's "prediction accuracy"."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch {y_true.shape} vs {y_pred.shape}")
+    if len(y_true) == 0:
+        raise ValueError("empty evaluation set")
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 (or CxC) confusion matrix; rows = truth, columns = prediction."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index = {c: i for i, c in enumerate(classes)}
+    out = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        out[index[t], index[p]] += 1
+    return out
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1
+) -> Tuple[float, float, float]:
+    """Precision / recall / F1 for the *detected* class.
+
+    For CA prediction the positive class is "defect detected"; recall on
+    it measures how much real detection capability a predicted CA model
+    retains.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = float(((y_pred == positive) & (y_true == positive)).sum())
+    fp = float(((y_pred == positive) & (y_true != positive)).sum())
+    fn = float(((y_pred != positive) & (y_true == positive)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[str, float]:
+    """All headline metrics in one dictionary."""
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred)
+    return {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+    }

@@ -1,0 +1,116 @@
+"""Serialization of trained classifiers.
+
+The hybrid flow trains one Random Forest per (inputs, transistors) group;
+persisting them means a CA-generation service can answer inference
+requests without retraining from the CA model library every start.
+
+The JSON format is self-describing and covers the estimators the flow
+uses (:class:`DecisionTreeClassifier`, :class:`RandomForestClassifier`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.learning.forest import RandomForestClassifier
+from repro.learning.tree import DecisionTreeClassifier, _Node
+
+FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree: DecisionTreeClassifier) -> Dict:
+    if tree.classes_ is None:
+        raise ValueError("cannot serialize an unfitted tree")
+    return {
+        "kind": "decision_tree",
+        "classes": tree.classes_.tolist(),
+        "n_features": tree.n_features_,
+        "params": {
+            "max_depth": tree.max_depth,
+            "min_samples_split": tree.min_samples_split,
+            "min_samples_leaf": tree.min_samples_leaf,
+            "max_features": tree.max_features,
+            "random_state": tree.random_state,
+        },
+        "nodes": [
+            {
+                "feature": node.feature,
+                "threshold": node.threshold,
+                "left": node.left,
+                "right": node.right,
+                "counts": node.counts.tolist(),
+            }
+            for node in tree._nodes
+        ],
+    }
+
+
+def tree_from_dict(data: Dict) -> DecisionTreeClassifier:
+    if data.get("kind") != "decision_tree":
+        raise ValueError(f"not a decision tree payload: {data.get('kind')!r}")
+    tree = DecisionTreeClassifier(**data["params"])
+    tree.classes_ = np.array(data["classes"])
+    tree.n_features_ = int(data["n_features"])
+    tree._n_classes = len(tree.classes_)
+    tree._nodes = [
+        _Node(
+            feature=int(node["feature"]),
+            threshold=float(node["threshold"]),
+            left=int(node["left"]),
+            right=int(node["right"]),
+            counts=np.array(node["counts"], dtype=np.float64),
+        )
+        for node in data["nodes"]
+    ]
+    tree._pack()
+    return tree
+
+
+def forest_to_dict(forest: RandomForestClassifier) -> Dict:
+    if forest.classes_ is None:
+        raise ValueError("cannot serialize an unfitted forest")
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "random_forest",
+        "classes": forest.classes_.tolist(),
+        "params": {
+            "n_estimators": forest.n_estimators,
+            "max_depth": forest.max_depth,
+            "min_samples_leaf": forest.min_samples_leaf,
+            "max_features": forest.max_features,
+            "bootstrap": forest.bootstrap,
+            "max_samples": forest.max_samples,
+            "random_state": forest.random_state,
+        },
+        "estimators": [tree_to_dict(t) for t in forest.estimators_],
+    }
+
+
+def forest_from_dict(data: Dict) -> RandomForestClassifier:
+    if data.get("kind") != "random_forest":
+        raise ValueError(f"not a random forest payload: {data.get('kind')!r}")
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format {data.get('format')!r}")
+    forest = RandomForestClassifier(**data["params"])
+    forest.classes_ = np.array(data["classes"])
+    forest.estimators_ = [tree_from_dict(t) for t in data["estimators"]]
+    return forest
+
+
+def save_classifier(
+    forest: RandomForestClassifier, path: Union[str, Path]
+) -> Path:
+    """Write a fitted forest to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(forest_to_dict(forest)))
+    return path
+
+
+def load_classifier(path: Union[str, Path]) -> RandomForestClassifier:
+    """Read a forest written by :func:`save_classifier`."""
+    return forest_from_dict(json.loads(Path(path).read_text()))

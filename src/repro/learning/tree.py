@@ -1,0 +1,209 @@
+"""CART decision-tree classifier (NumPy, from scratch).
+
+scikit-learn (the paper's ML backend) is not available offline, so the
+estimators are re-implemented.  The tree exploits a property of the
+CA-matrix: every feature is a small integer code, so exhaustive split
+search per feature is a bincount away and splits are exact.
+
+The API follows the scikit-learn conventions the paper's flow relies on:
+``fit(X, y)`` / ``predict(X)`` / ``predict_proba(X)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    #: class-count distribution at the node (leaf payload)
+    counts: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left < 0
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART with Gini impurity on integer-coded features."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[object] = None,
+        random_state: Optional[int] = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._nodes: List[_Node] = []
+        self.classes_: Optional[np.ndarray] = None
+        self.n_features_: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D and aligned with y")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        self._rng = np.random.default_rng(self.random_state)
+        self._n_classes = len(self.classes_)
+        self._nodes = []
+        self._grow(X, encoded.astype(np.int64), np.arange(len(y)), depth=0)
+        self._pack()
+        return self
+
+    def _pack(self) -> None:
+        """Flatten nodes into arrays for vectorized prediction."""
+        n = len(self._nodes)
+        self._feature = np.array([node.feature for node in self._nodes])
+        self._threshold = np.array([node.threshold for node in self._nodes])
+        self._left = np.array([node.left for node in self._nodes])
+        self._right = np.array([node.right for node in self._nodes])
+        self._leaf = self._left < 0
+        self._counts = np.vstack([node.counts for node in self._nodes])
+
+    def _n_candidate_features(self) -> int:
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self.n_features_)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(self.n_features_)))
+        if isinstance(self.max_features, float):
+            return max(1, int(self.max_features * self.n_features_))
+        return min(self.n_features_, int(self.max_features))
+
+    def _grow(self, X, y, index, depth) -> int:
+        node_id = len(self._nodes)
+        node = _Node()
+        self._nodes.append(node)
+        labels = y[index]
+        counts = np.bincount(labels, minlength=self._n_classes).astype(np.float64)
+        node.counts = counts
+
+        if (
+            len(index) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or counts.max() == counts.sum()
+        ):
+            return node_id
+
+        split = self._best_split(X, y, index)
+        if split is None:
+            return node_id
+        feature, threshold = split
+        mask = X[index, feature] <= threshold
+        left_index = index[mask]
+        right_index = index[~mask]
+        if len(left_index) < self.min_samples_leaf or len(right_index) < self.min_samples_leaf:
+            return node_id
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X, y, left_index, depth + 1)
+        node.right = self._grow(X, y, right_index, depth + 1)
+        return node_id
+
+    def _best_split(self, X, y, index) -> Optional[Tuple[int, float]]:
+        n = len(index)
+        labels = y[index]
+        if self._n_candidate_features() >= self.n_features_:
+            candidates = np.arange(self.n_features_)
+        else:
+            candidates = self._rng.choice(
+                self.n_features_, size=self._n_candidate_features(), replace=False
+            )
+        best_score = np.inf
+        best: Optional[Tuple[int, float]] = None
+        min_leaf = self.min_samples_leaf
+        for feature in candidates:
+            column = X[index, feature].astype(np.int64)
+            low = column.min()
+            span = int(column.max() - low)
+            if span == 0:
+                continue
+            shifted = column - low
+            # per-value class histogram in one bincount
+            flat = shifted * self._n_classes + labels
+            histogram = np.bincount(
+                flat, minlength=(span + 1) * self._n_classes
+            ).reshape(span + 1, self._n_classes)
+            prefix = histogram.cumsum(axis=0)[:-1]  # candidate left partitions
+            left_totals = prefix.sum(axis=1)
+            right_totals = n - left_totals
+            valid = (left_totals >= min_leaf) & (right_totals >= min_leaf)
+            if not valid.any():
+                continue
+            total = prefix[-1] + histogram[-1]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gini_left = 1.0 - ((prefix / left_totals[:, None]) ** 2).sum(axis=1)
+                right_counts = total[None, :] - prefix
+                gini_right = 1.0 - (
+                    (right_counts / right_totals[:, None]) ** 2
+                ).sum(axis=1)
+            weighted = (left_totals * gini_left + right_totals * gini_right) / n
+            weighted[~valid] = np.inf
+            k = int(np.argmin(weighted))
+            if weighted[k] < best_score:
+                best_score = weighted[k]
+                best = (int(feature), float(low + k + 0.5))
+        # Zero-gain splits are allowed (XOR-style regions need them to make
+        # progress); termination is guaranteed because both sides of a
+        # valid split are non-empty.
+        return best
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X)
+        if self.classes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        rows = np.arange(len(X))
+        node_ids = np.zeros(len(X), dtype=np.int64)
+        # Level-synchronous descent: every sample takes one step per pass.
+        while True:
+            at_leaf = self._leaf[node_ids]
+            if at_leaf.all():
+                break
+            features = np.where(at_leaf, 0, self._feature[node_ids])
+            go_left = X[rows, features] <= self._threshold[node_ids]
+            stepped = np.where(
+                go_left, self._left[node_ids], self._right[node_ids]
+            )
+            node_ids = np.where(at_leaf, node_ids, stepped)
+        counts = self._counts[node_ids]
+        totals = counts.sum(axis=1, keepdims=True)
+        return counts / np.maximum(totals, 1.0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+
+        def walk(node_id: int) -> int:
+            node = self._nodes[node_id]
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(0) if self._nodes else 0

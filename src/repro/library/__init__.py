@@ -1,0 +1,71 @@
+"""Standard-cell synthesis, function catalog and synthetic technologies."""
+
+from repro.library.synth import (
+    CellSpec,
+    Leaf,
+    Parallel,
+    Series,
+    SP,
+    StageSpec,
+    SynthesisOptions,
+    parallel,
+    series,
+    sp_from_signals,
+    synthesize,
+    widen_spec,
+)
+from repro.library.catalog import CATALOG, FunctionDef
+from repro.library.catalog import get as get_function
+from repro.library.catalog import names as function_names
+from repro.library.technology import (
+    C28,
+    C40,
+    SOI28,
+    TECHNOLOGIES,
+    ElectricalParams,
+    Flavor,
+    Technology,
+)
+from repro.library.technology import get as get_technology
+from repro.library.liberty import library_to_liberty, save_liberty
+from repro.library.builder import (
+    Library,
+    PRESETS,
+    build_cell,
+    build_library,
+    build_preset,
+)
+
+__all__ = [
+    "SP",
+    "Leaf",
+    "Series",
+    "Parallel",
+    "series",
+    "parallel",
+    "sp_from_signals",
+    "StageSpec",
+    "CellSpec",
+    "SynthesisOptions",
+    "synthesize",
+    "widen_spec",
+    "CATALOG",
+    "FunctionDef",
+    "get_function",
+    "function_names",
+    "Technology",
+    "ElectricalParams",
+    "Flavor",
+    "SOI28",
+    "C40",
+    "C28",
+    "TECHNOLOGIES",
+    "get_technology",
+    "Library",
+    "build_cell",
+    "build_library",
+    "build_preset",
+    "PRESETS",
+    "library_to_liberty",
+    "save_liberty",
+]

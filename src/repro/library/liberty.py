@@ -1,0 +1,83 @@
+"""Liberty (.lib) view export.
+
+Standard-cell libraries ship a Liberty timing/function view alongside the
+SPICE netlists; downstream tools (synthesis, ATPG) read cell functions
+from it.  This module emits a functional Liberty skeleton for a built
+library: cell/pin/direction/function attributes (no timing tables — the
+switch-level substrate has no timing model), with the Boolean function
+strings derived from the same catalog formulas the netlists were
+synthesized from, so the two views are consistent by construction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.library.builder import Library
+from repro.library.catalog import get as get_function
+from repro.logic.expr import And, Const, Expr, Not, Or, Var, Xor
+from repro.spice.netlist import CellNetlist
+
+
+def _liberty_expr(expr: Expr) -> str:
+    """Render a Boolean expression in Liberty syntax (&,|,^,!)."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        return str(int(expr.value))
+    if isinstance(expr, Not):
+        return f"!{_liberty_expr_wrapped(expr.operand)}"
+    if isinstance(expr, (And, Or, Xor)):
+        symbol = {"&": "&", "|": "|", "^": "^"}[expr.symbol]
+        return symbol.join(_liberty_expr_wrapped(op) for op in expr.operands)
+    raise TypeError(f"cannot render {expr!r}")
+
+
+def _liberty_expr_wrapped(expr: Expr) -> str:
+    if isinstance(expr, (Var, Const, Not)):
+        return _liberty_expr(expr)
+    return f"({_liberty_expr(expr)})"
+
+
+def cell_to_liberty(cell: CellNetlist, indent: str = "  ") -> str:
+    """One Liberty ``cell`` group for a catalog-built cell."""
+    fdef = get_function(cell.function) if cell.function else None
+    lines: List[str] = [f'{indent}cell ("{cell.name}") {{']
+    lines.append(f"{indent}  area : {cell.n_transistors * 0.25:.2f};")
+    for pin in cell.inputs:
+        lines.append(f'{indent}  pin ("{pin}") {{')
+        lines.append(f"{indent}    direction : input;")
+        lines.append(f"{indent}  }}")
+    exprs = fdef.exprs(cell.inputs) if fdef is not None else {}
+    for port in cell.outputs:
+        lines.append(f'{indent}  pin ("{port}") {{')
+        lines.append(f"{indent}    direction : output;")
+        if port in exprs:
+            lines.append(
+                f'{indent}    function : "{_liberty_expr(exprs[port])}";'
+            )
+        lines.append(f"{indent}  }}")
+    lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+def library_to_liberty(library: Library, name: str = "") -> str:
+    """A functional Liberty file for a whole built library."""
+    lib_name = name or f"{library.name}_func"
+    lines: List[str] = [f'library ("{lib_name}") {{']
+    lines.append('  delay_model : "table_lookup";')
+    lines.append('  time_unit : "1ns";')
+    lines.append('  voltage_unit : "1V";')
+    for cell in library:
+        lines.append(cell_to_liberty(cell))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_liberty(library: Library, path: Union[str, Path], name: str = "") -> Path:
+    """Write the Liberty view to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(library_to_liberty(library, name=name))
+    return path

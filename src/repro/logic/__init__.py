@@ -1,0 +1,49 @@
+"""Four-valued logic algebra and Boolean expressions."""
+
+from repro.logic.fourval import (
+    CODE_V4,
+    V4,
+    V4_CODE,
+    final_phase,
+    initial_phase,
+    is_static_word,
+    parse_word,
+    word_from_phases,
+    word_to_string,
+)
+from repro.logic.expr import (
+    And,
+    Const,
+    Expr,
+    ExprSyntaxError,
+    Not,
+    Or,
+    Var,
+    Xor,
+    assignments,
+    parse_expr,
+    truth_table,
+)
+
+__all__ = [
+    "V4",
+    "V4_CODE",
+    "CODE_V4",
+    "parse_word",
+    "word_to_string",
+    "is_static_word",
+    "initial_phase",
+    "final_phase",
+    "word_from_phases",
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "parse_expr",
+    "truth_table",
+    "assignments",
+    "ExprSyntaxError",
+]

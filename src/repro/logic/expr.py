@@ -1,0 +1,272 @@
+"""Boolean expression AST used to specify cell logic functions.
+
+Cell functions in :mod:`repro.library` are written as small Boolean
+expressions over input pin names, e.g. the NAND2 function is
+``Not(And(Var("A"), Var("B")))``.  The AST supports evaluation on binary
+assignments, a tiny parser for a conventional syntax
+(``!``, ``&``, ``|``, ``^``, parentheses) and structural utilities used by
+the cell synthesizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Mapping, Sequence, Tuple
+
+
+class Expr:
+    """Base class for Boolean expression nodes."""
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a binary assignment of variables."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """The set of variable names appearing in the expression."""
+        raise NotImplementedError
+
+    # Operator sugar -----------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable (cell input pin)."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return int(env[self.name])
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A Boolean constant."""
+
+    value: int
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return int(self.value)
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(int(self.value))
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical complement."""
+
+    operand: Expr
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return 1 - self.operand.evaluate(env)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"!{_wrap(self.operand)}"
+
+
+class _NaryOp(Expr):
+    """Common machinery for variadic AND / OR / XOR nodes."""
+
+    symbol = "?"
+
+    def __init__(self, *operands: Expr):
+        if len(operands) < 2:
+            raise ValueError(f"{type(self).__name__} needs at least two operands")
+        self.operands: Tuple[Expr, ...] = tuple(operands)
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            out = out | op.variables()
+        return out
+
+    def __str__(self) -> str:
+        return f" {self.symbol} ".join(_wrap(op) for op in self.operands)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.operands == other.operands  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+
+class And(_NaryOp):
+    """Logical conjunction of two or more operands."""
+
+    symbol = "&"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        for op in self.operands:
+            if not op.evaluate(env):
+                return 0
+        return 1
+
+
+class Or(_NaryOp):
+    """Logical disjunction of two or more operands."""
+
+    symbol = "|"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        for op in self.operands:
+            if op.evaluate(env):
+                return 1
+        return 0
+
+
+class Xor(_NaryOp):
+    """Logical exclusive-or of two or more operands."""
+
+    symbol = "^"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        acc = 0
+        for op in self.operands:
+            acc ^= op.evaluate(env)
+        return acc
+
+
+def _wrap(expr: Expr) -> str:
+    if isinstance(expr, (Var, Const, Not)):
+        return str(expr)
+    return f"({expr})"
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+class ExprSyntaxError(ValueError):
+    """Raised when :func:`parse_expr` cannot parse its input."""
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a Boolean expression.
+
+    Grammar (loosest binding first)::
+
+        or    := xor ('|' xor)*
+        xor   := and ('^' and)*
+        and   := unary ('&' unary)*
+        unary := '!' unary | '(' or ')' | name | '0' | '1'
+    """
+    tokens = _tokenize(text)
+    expr, pos = _parse_or(tokens, 0)
+    if pos != len(tokens):
+        raise ExprSyntaxError(f"unexpected token {tokens[pos]!r} in {text!r}")
+    return expr
+
+
+def _tokenize(text: str) -> Sequence[str]:
+    tokens = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "!&|^()":
+            tokens.append(ch)
+            i += 1
+        elif ch.isalnum() or ch == "_":
+            j = i
+            while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+        else:
+            raise ExprSyntaxError(f"bad character {ch!r} in {text!r}")
+    return tokens
+
+
+def _parse_or(tokens: Sequence[str], pos: int):
+    lhs, pos = _parse_xor(tokens, pos)
+    terms = [lhs]
+    while pos < len(tokens) and tokens[pos] == "|":
+        rhs, pos = _parse_xor(tokens, pos + 1)
+        terms.append(rhs)
+    return (terms[0] if len(terms) == 1 else Or(*terms)), pos
+
+
+def _parse_xor(tokens: Sequence[str], pos: int):
+    lhs, pos = _parse_and(tokens, pos)
+    terms = [lhs]
+    while pos < len(tokens) and tokens[pos] == "^":
+        rhs, pos = _parse_and(tokens, pos + 1)
+        terms.append(rhs)
+    return (terms[0] if len(terms) == 1 else Xor(*terms)), pos
+
+
+def _parse_and(tokens: Sequence[str], pos: int):
+    lhs, pos = _parse_unary(tokens, pos)
+    terms = [lhs]
+    while pos < len(tokens) and tokens[pos] == "&":
+        rhs, pos = _parse_unary(tokens, pos + 1)
+        terms.append(rhs)
+    return (terms[0] if len(terms) == 1 else And(*terms)), pos
+
+
+def _parse_unary(tokens: Sequence[str], pos: int):
+    if pos >= len(tokens):
+        raise ExprSyntaxError("unexpected end of expression")
+    tok = tokens[pos]
+    if tok == "!":
+        inner, pos = _parse_unary(tokens, pos + 1)
+        return Not(inner), pos
+    if tok == "(":
+        inner, pos = _parse_or(tokens, pos + 1)
+        if pos >= len(tokens) or tokens[pos] != ")":
+            raise ExprSyntaxError("missing closing parenthesis")
+        return inner, pos + 1
+    if tok in ("0", "1"):
+        return Const(int(tok)), pos + 1
+    if tok in ("!", "&", "|", "^", ")"):
+        raise ExprSyntaxError(f"unexpected token {tok!r}")
+    return Var(tok), pos + 1
+
+
+# ----------------------------------------------------------------------
+# Truth-table utilities
+# ----------------------------------------------------------------------
+
+def truth_table(expr: Expr, inputs: Sequence[str]) -> Tuple[int, ...]:
+    """Evaluate *expr* for all 2^n assignments of *inputs*.
+
+    Bit i of the result tuple corresponds to the assignment whose binary
+    encoding is i (inputs[0] is the most-significant bit, mirroring the
+    activity-value convention of Section III.C of the paper).
+    """
+    rows = []
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        env: Dict[str, int] = dict(zip(inputs, bits))
+        rows.append(expr.evaluate(env))
+    return tuple(rows)
+
+
+def assignments(inputs: Sequence[str]) -> Iterator[Dict[str, int]]:
+    """Iterate all binary assignments in ascending binary order."""
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        yield dict(zip(inputs, bits))

@@ -1,0 +1,150 @@
+"""Four-valued waveform algebra used throughout the CA-matrix.
+
+The paper (Section II.B) represents every stimulus with the alphabet
+``{0, 1, R, F}`` where ``R`` is a rising transition (0 -> 1) and ``F`` a
+falling transition (1 -> 0).  A *static* value is ``0`` or ``1``; a
+*dynamic* value carries a transition.  Simulation additionally needs an
+unknown value ``X`` (floating / contended node), which never appears in a
+stimulus but may appear in a response.
+
+A four-valued symbol is best thought of as a pair ``(initial, final)`` of
+binary phases:
+
+====== ========= =======
+symbol initial   final
+====== ========= =======
+``0``  0         0
+``1``  1         1
+``R``  0         1
+``F``  1         0
+``X``  unknown   unknown
+====== ========= =======
+
+This module implements the symbol type (:class:`V4`), phase projection,
+recombination and the small amount of algebra the rest of the library needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence, Tuple
+
+
+class V4(enum.Enum):
+    """A four-valued logic symbol (plus the unknown ``X``)."""
+
+    ZERO = "0"
+    ONE = "1"
+    RISE = "R"
+    FALL = "F"
+    X = "X"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"V4.{self.name}"
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def is_static(self) -> bool:
+        """True for ``0`` and ``1``."""
+        return self in (V4.ZERO, V4.ONE)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True for ``R`` and ``F``."""
+        return self in (V4.RISE, V4.FALL)
+
+    @property
+    def is_known(self) -> bool:
+        """True for anything but ``X``."""
+        return self is not V4.X
+
+    # ------------------------------------------------------------------
+    # Phase projection / recombination
+    # ------------------------------------------------------------------
+    @property
+    def initial(self) -> int:
+        """Binary value of the first (initialization) phase; -1 for X."""
+        return _INITIAL[self]
+
+    @property
+    def final(self) -> int:
+        """Binary value of the second (settled) phase; -1 for X."""
+        return _FINAL[self]
+
+    @staticmethod
+    def from_phases(initial: int, final: int) -> "V4":
+        """Rebuild a symbol from two binary phases.
+
+        Either phase may be -1 (unknown), in which case the result is ``X``.
+        """
+        if initial < 0 or final < 0:
+            return V4.X
+        return _FROM_PHASES[(initial, final)]
+
+    @staticmethod
+    def from_string(text: str) -> "V4":
+        """Parse a single-character symbol (case-insensitive)."""
+        try:
+            return _FROM_STR[text.upper()]
+        except KeyError:
+            raise ValueError(f"not a four-valued symbol: {text!r}") from None
+
+    @property
+    def inverted(self) -> "V4":
+        """Logical complement (R <-> F, 0 <-> 1, X -> X)."""
+        return _INVERT[self]
+
+
+_INITIAL = {V4.ZERO: 0, V4.ONE: 1, V4.RISE: 0, V4.FALL: 1, V4.X: -1}
+_FINAL = {V4.ZERO: 0, V4.ONE: 1, V4.RISE: 1, V4.FALL: 0, V4.X: -1}
+_FROM_PHASES = {
+    (0, 0): V4.ZERO,
+    (1, 1): V4.ONE,
+    (0, 1): V4.RISE,
+    (1, 0): V4.FALL,
+}
+_FROM_STR = {v.value: v for v in V4}
+_INVERT = {V4.ZERO: V4.ONE, V4.ONE: V4.ZERO, V4.RISE: V4.FALL, V4.FALL: V4.RISE, V4.X: V4.X}
+
+#: Stable integer encoding used by the CA-matrix (Section II.B of the paper).
+#: 0/1 encode the static states, 2/3 the transitions, -128 stands for X so a
+#: defective response can never collide with a legal feature value.
+V4_CODE = {V4.ZERO: 0, V4.ONE: 1, V4.RISE: 2, V4.FALL: 3, V4.X: -128}
+CODE_V4 = {code: sym for sym, code in V4_CODE.items()}
+
+
+def parse_word(text: str) -> Tuple[V4, ...]:
+    """Parse a stimulus word such as ``"0RF1"`` into a tuple of symbols."""
+    return tuple(V4.from_string(ch) for ch in text)
+
+
+def word_to_string(word: Iterable[V4]) -> str:
+    """Inverse of :func:`parse_word`."""
+    return "".join(str(v) for v in word)
+
+
+def is_static_word(word: Sequence[V4]) -> bool:
+    """True when every symbol of the word is static (``0``/``1``)."""
+    return all(v.is_static for v in word)
+
+
+def initial_phase(word: Sequence[V4]) -> Tuple[int, ...]:
+    """Project a word onto its initialization phase (tuple of 0/1/-1)."""
+    return tuple(v.initial for v in word)
+
+
+def final_phase(word: Sequence[V4]) -> Tuple[int, ...]:
+    """Project a word onto its settled phase (tuple of 0/1/-1)."""
+    return tuple(v.final for v in word)
+
+
+def word_from_phases(initial: Sequence[int], final: Sequence[int]) -> Tuple[V4, ...]:
+    """Combine two binary vectors into a four-valued word."""
+    if len(initial) != len(final):
+        raise ValueError("phase vectors must have equal length")
+    return tuple(V4.from_phases(a, b) for a, b in zip(initial, final))

@@ -1,0 +1,34 @@
+"""Switch-level cell simulation (the SPICE substitute)."""
+
+from repro.simulation.switchgraph import (
+    DRIVER_RESISTANCE,
+    DefectEffect,
+    GOLDEN,
+    SwitchGraph,
+)
+from repro.simulation.solver import StaticSolver, UnionFind, X
+from repro.simulation.trace import Trace, capture, dump_vcd, to_vcd
+from repro.simulation.engine import (
+    CellSimulator,
+    SimulationError,
+    golden_simulator,
+    logic_check,
+)
+
+__all__ = [
+    "DefectEffect",
+    "GOLDEN",
+    "SwitchGraph",
+    "DRIVER_RESISTANCE",
+    "StaticSolver",
+    "UnionFind",
+    "X",
+    "CellSimulator",
+    "SimulationError",
+    "golden_simulator",
+    "logic_check",
+    "Trace",
+    "capture",
+    "to_vcd",
+    "dump_vcd",
+]

@@ -1,0 +1,321 @@
+"""Cell simulation engine: stimuli in, four-valued responses out.
+
+This is the drop-in replacement for the electrical (SPICE) simulation of
+the conventional CA generation flow (Fig. 1 of the paper).  A
+:class:`CellSimulator` wraps one (cell, defect) pair and answers:
+
+* :meth:`output_response` — the cell output as a {0,1,R,F,X} symbol for a
+  four-valued stimulus word;
+* :meth:`net_waveforms` — every net's symbol (used by the golden run to
+  identify active/passive transistors, Section III.A).
+
+A stimulus word is a tuple of :class:`~repro.logic.fourval.V4`, one symbol
+per input pin.  A static word needs one solver phase; a dynamic word is a
+two-pattern test: the initial phase settles, then the final phase is solved
+with charge retention and gate-open lag fed from the initial phase.
+
+Solved phases are memoized per (final vector, initial vector), which makes
+exhaustive-stimulus characterization cost O(4^n) solves instead of
+O(4^n * patterns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.library.technology import ElectricalParams
+from repro.logic.fourval import V4, final_phase, initial_phase
+from repro.simulation.solver import StaticSolver, X
+from repro.simulation.switchgraph import (
+    DRIVER_RESISTANCE,
+    DefectEffect,
+    GOLDEN,
+    SwitchGraph,
+)
+from repro.spice.netlist import CellNetlist
+
+PhaseKey = Tuple[Tuple[int, ...], Optional[Tuple[int, ...]]]
+
+
+class SimulationError(RuntimeError):
+    """Raised for malformed stimuli."""
+
+
+class CellSimulator:
+    """Switch-level simulator for one cell under one (optional) defect."""
+
+    def __init__(
+        self,
+        cell: CellNetlist,
+        params: Optional[ElectricalParams] = None,
+        effect: DefectEffect = GOLDEN,
+        driver_resistance: float = DRIVER_RESISTANCE,
+    ):
+        self.cell = cell
+        self.effect = effect
+        self.graph = SwitchGraph(
+            cell, params=params, effect=effect, driver_resistance=driver_resistance
+        )
+        self.solver = StaticSolver(self.graph)
+        self._memoryless_cache: Dict[Tuple[int, ...], "SolveResult"] = {}
+        self._phase_cache: Dict[PhaseKey, List[int]] = {}
+        self._has_gate_open = bool(effect.gate_open)
+        self._observable_nodes = [
+            node
+            for node, observable in enumerate(self.solver._observable)
+            if observable
+        ]
+        self._drive_cache: Dict[Tuple[int, int, int], float] = {}
+        #: number of phase solves actually performed (cost accounting)
+        self.solve_count = 0
+
+    # ------------------------------------------------------------------
+    def _memoryless(self, vector: Tuple[int, ...]):
+        """History-free solve of one static vector, memoized per vector."""
+        result = self._memoryless_cache.get(vector)
+        if result is None:
+            result = self.solver.solve(vector, None)
+            self.solve_count += 1
+            self._memoryless_cache[vector] = result
+        return result
+
+    def _phase_with_codes(
+        self,
+        vector: Tuple[int, ...],
+        prev_codes: Optional[List[int]],
+    ) -> List[int]:
+        """Solve one settled phase given the previous settled state.
+
+        A phase depends on the previous pattern only through charge
+        retention on floating nets and gate-open conduction lag; when the
+        history-free solve of *vector* touched neither, it is the answer
+        for every predecessor, which collapses the dynamic-stimulus cost
+        from O(4^n) to O(2^n) solves for most defects.  When history does
+        matter, results are cached by the previous *observable* state.
+        """
+        base = self._memoryless(vector)
+        if prev_codes is None:
+            return base.codes
+        if not base.retention_used and not self._has_gate_open:
+            return base.codes
+        obs = tuple(prev_codes[n] for n in self._observable_nodes)
+        key = (vector, obs)
+        cached = self._phase_cache.get(key)
+        if cached is not None:
+            return cached
+        codes = self.solver.solve(vector, prev_codes).codes
+        self.solve_count += 1
+        self._phase_cache[key] = codes
+        return codes
+
+    def _phase(
+        self,
+        vector: Tuple[int, ...],
+        prev_vector: Optional[Tuple[int, ...]] = None,
+    ) -> List[int]:
+        """Solve (with memoization) one settled phase of a two-phase word."""
+        prev_codes = self._phase(prev_vector) if prev_vector is not None else None
+        return self._phase_with_codes(vector, prev_codes)
+
+    def _split_word(self, word: Sequence[V4]) -> Tuple[Tuple[int, ...], Tuple[int, ...], bool]:
+        if len(word) != len(self.cell.inputs):
+            raise SimulationError(
+                f"stimulus has {len(word)} symbols, cell {self.cell.name} "
+                f"has {len(self.cell.inputs)} inputs"
+            )
+        first = initial_phase(word)
+        second = final_phase(word)
+        if any(v < 0 for v in first) or any(v < 0 for v in second):
+            raise SimulationError(f"stimulus contains X: {word}")
+        return first, second, first != second
+
+    # ------------------------------------------------------------------
+    def solve_word(self, word: Sequence[V4]) -> Tuple[List[int], List[int]]:
+        """Solve a word; returns (initial codes, final codes) per node.
+
+        For a static word both phases are the same solved state.
+        """
+        first, second, dynamic = self._split_word(word)
+        if not dynamic:
+            codes = self._phase(second)
+            return codes, codes
+        codes1 = self._phase(first)
+        codes2 = self._phase(second, prev_vector=first)
+        return codes1, codes2
+
+    def output_response(self, word: Sequence[V4], output: Optional[str] = None) -> V4:
+        """Four-valued response on a cell output (first output default)."""
+        codes1, codes2 = self.solve_word(word)
+        node = self.graph.output if output is None else self.graph.net_index[output]
+        return V4.from_phases(codes1[node], codes2[node])
+
+    def net_waveforms(self, word: Sequence[V4]) -> Dict[str, V4]:
+        """Per-net four-valued symbols under *word* (cell nets only)."""
+        codes1, codes2 = self.solve_word(word)
+        out: Dict[str, V4] = {}
+        for net, index in self.graph.net_index.items():
+            out[net] = V4.from_phases(codes1[index], codes2[index])
+        return out
+
+    def static_net_codes(self, vector: Sequence[int]) -> Dict[str, int]:
+        """Settled logic code per net for a static binary input vector."""
+        codes = self._phase(tuple(int(v) for v in vector))
+        return {net: codes[index] for net, index in self.graph.net_index.items()}
+
+    def simulate_sequence(
+        self, vectors: Sequence[Sequence[int]]
+    ) -> List[V4]:
+        """Simulate a multi-pattern sequence with rolling state.
+
+        *vectors* are binary input patterns applied one after another;
+        charge retention and gate-open lag carry across every step (a
+        generalization of the two-pattern words to arbitrary test
+        sequences).  Returns the output symbol observed at each step:
+        the transition from the previous settled state to the new one.
+        """
+        responses: List[V4] = []
+        prev_vector: Optional[Tuple[int, ...]] = None
+        prev_codes: Optional[List[int]] = None
+        out = self.graph.output
+        for raw in vectors:
+            vector = tuple(int(v) for v in raw)
+            if len(vector) != len(self.cell.inputs):
+                raise SimulationError(
+                    f"pattern {vector} does not match {len(self.cell.inputs)} inputs"
+                )
+            codes = self._phase_with_codes(vector, prev_codes)
+            if prev_codes is None:
+                responses.append(V4.from_phases(codes[out], codes[out]))
+            else:
+                responses.append(V4.from_phases(prev_codes[out], codes[out]))
+            prev_vector = vector
+            prev_codes = codes
+        return responses
+
+    # ------------------------------------------------------------------
+    # Drive-strength measurement (delay-defect proxy)
+    # ------------------------------------------------------------------
+    def output_drive_resistance(
+        self, word: Sequence[V4], output: Optional[str] = None
+    ) -> float:
+        """Effective resistance from an output to the rail it settled at.
+
+        This is the switch-level proxy for transition speed: a defect that
+        removes one finger of a parallel stack leaves the logic value
+        intact but raises this resistance, which a transient (SPICE)
+        simulation would report as a slow, delay-detected defect.  Returns
+        ``inf`` when the output is floating or unknown.
+        """
+        codes1, codes2 = self.solve_word(word)
+        out = self.graph.output if output is None else self.graph.net_index[output]
+        level = codes2[out]
+        if level not in (0, 1):
+            return float("inf")
+        cache_key = (id(codes1), id(codes2), out)
+        cached = self._drive_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        rail = self.graph.power if level == 1 else self.graph.ground
+        resistance = self._effective_resistance(out, rail, codes1, codes2)
+        self._drive_cache[cache_key] = resistance
+        return resistance
+
+    def _conducting_edges(
+        self, codes1: Sequence[int], codes2: Sequence[int]
+    ) -> List[Tuple[int, int, float]]:
+        """Conducting edges in the final phase (unknown gates -> off)."""
+        edges: List[Tuple[int, int, float]] = list(self.graph.static_edges)
+        for dev in self.graph.devices:
+            gate_value = codes1[dev.gate] if dev.gate_open else codes2[dev.gate]
+            on = gate_value == 1 if dev.is_nmos else gate_value == 0
+            if on:
+                edges.append((dev.drain, dev.source, dev.g_on))
+        return edges
+
+    def _effective_resistance(
+        self,
+        node_a: int,
+        node_b: int,
+        codes1: Sequence[int],
+        codes2: Sequence[int],
+    ) -> float:
+        """Two-point effective resistance over the conducting graph.
+
+        Only *node_b* is held (grounded); every other node floats, so the
+        result measures the strength of the path actually charging the
+        output, independent of the other rails.
+        """
+        edges = self._conducting_edges(codes1, codes2)
+        # Restrict to the connected component of node_a.
+        adjacency: Dict[int, List[Tuple[int, float]]] = {}
+        for a, b, g in edges:
+            adjacency.setdefault(a, []).append((b, g))
+            adjacency.setdefault(b, []).append((a, g))
+        component = {node_a}
+        frontier = [node_a]
+        while frontier:
+            current = frontier.pop()
+            for neighbor, _g in adjacency.get(current, ()):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        if node_b not in component:
+            return float("inf")
+        free = sorted(component - {node_b})
+        pos = {n: i for i, n in enumerate(free)}
+        size = len(free)
+        laplacian = np.zeros((size, size))
+        for a, b, g in edges:
+            if a not in component or a == b:
+                continue
+            if a in pos:
+                laplacian[pos[a], pos[a]] += g
+            if b in pos:
+                laplacian[pos[b], pos[b]] += g
+            if a in pos and b in pos:
+                laplacian[pos[a], pos[b]] -= g
+                laplacian[pos[b], pos[a]] -= g
+        injection = np.zeros(size)
+        injection[pos[node_a]] = 1.0
+        try:
+            voltages = np.linalg.solve(laplacian, injection)
+        except np.linalg.LinAlgError:  # pragma: no cover - degenerate
+            return float("inf")
+        return float(voltages[pos[node_a]])
+
+
+def golden_simulator(
+    cell: CellNetlist, params: Optional[ElectricalParams] = None
+) -> CellSimulator:
+    """Convenience constructor for the defect-free simulation."""
+    return CellSimulator(cell, params=params, effect=GOLDEN)
+
+
+def logic_check(
+    cell: CellNetlist,
+    expected,
+    params: Optional[ElectricalParams] = None,
+    output: Optional[str] = None,
+) -> List[Tuple[Tuple[int, ...], int, int]]:
+    """Compare a cell's static behaviour against a Boolean reference.
+
+    *expected* is a :class:`repro.logic.expr.Expr` over the cell's input
+    names; *output* picks the port to check (first output by default).
+    Returns mismatches as (vector, simulated, expected); an empty list
+    means the netlist implements the function.
+    """
+    import itertools
+
+    sim = golden_simulator(cell, params)
+    port = output or cell.outputs[0]
+    mismatches = []
+    for bits in itertools.product((0, 1), repeat=len(cell.inputs)):
+        env = dict(zip(cell.inputs, bits))
+        codes = sim.static_net_codes(bits)
+        got = codes[port]
+        want = expected.evaluate(env)
+        if got != want:
+            mismatches.append((bits, got, want))
+    return mismatches

@@ -1,0 +1,146 @@
+"""Switch-level view of a cell netlist.
+
+Builds the indexed structures the solver works on: integer net ids, device
+records with on-conductances, resistive input drivers, and the defect
+modifications (:class:`DefectEffect`) a simulation run can apply.
+
+Modeling choices (see DESIGN.md):
+
+* Cell inputs are driven through a finite driver resistance from an ideal
+  source node, so shorts onto input nets produce realistic voltage dividers
+  instead of being masked by an ideal source.
+* Power/ground rails are ideal (zero-impedance) boundaries.
+* A conducting MOS channel is a resistor ``Ron = rsq * L / W``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.library.technology import ElectricalParams
+from repro.spice.netlist import NMOS, CellNetlist, Transistor
+
+#: default driver resistance seen looking back into a cell input [ohm]
+DRIVER_RESISTANCE = 2_000.0
+
+
+@dataclass(frozen=True)
+class DefectEffect:
+    """Structural modification a defect makes to the switch graph.
+
+    * ``removed``: device names whose channel can never conduct
+      (drain/source opens).
+    * ``gate_open``: device names whose gate terminal is disconnected;
+      their conduction is the one implied by the *previous* pattern's gate
+      value (trapped-charge lag), non-conducting on the first pattern.
+    * ``bridges``: resistive shorts ``(net_a, net_b, resistance)``.
+    * ``benign``: defect has no logic-level effect (e.g. bulk open);
+      simulation is skipped and the golden response returned.
+    """
+
+    removed: FrozenSet[str] = frozenset()
+    gate_open: FrozenSet[str] = frozenset()
+    bridges: Tuple[Tuple[str, str, float], ...] = ()
+    benign: bool = False
+
+    @property
+    def is_golden(self) -> bool:
+        return not (self.removed or self.gate_open or self.bridges)
+
+
+GOLDEN = DefectEffect()
+
+
+@dataclass
+class DeviceRec:
+    """Solver-facing device record (net ids instead of names)."""
+
+    index: int
+    name: str
+    is_nmos: bool
+    drain: int
+    gate: int
+    source: int
+    g_on: float
+    gate_open: bool = False
+
+
+class SwitchGraph:
+    """Indexed switch-level structure for one (cell, defect) pair."""
+
+    def __init__(
+        self,
+        cell: CellNetlist,
+        params: Optional[ElectricalParams] = None,
+        effect: DefectEffect = GOLDEN,
+        driver_resistance: float = DRIVER_RESISTANCE,
+    ):
+        self.cell = cell
+        self.params = params or ElectricalParams()
+        self.effect = effect
+
+        nets = sorted(cell.nets())
+        self.net_index: Dict[str, int] = {n: i for i, n in enumerate(nets)}
+        # one virtual source node per input pin
+        self.source_index: Dict[str, int] = {}
+        for pin in cell.inputs:
+            self.source_index[pin] = len(nets) + len(self.source_index)
+        self.n_nodes = len(nets) + len(self.source_index)
+        self.net_names = nets + [f"<src:{p}>" for p in cell.inputs]
+
+        self.power = self.net_index[cell.power]
+        self.ground = self.net_index[cell.ground]
+        self.outputs = [self.net_index[o] for o in cell.outputs]
+        self.output = self.outputs[0]
+        self.pin_nodes: List[int] = [self.net_index[p] for p in cell.inputs]
+        self.source_nodes: List[int] = [self.source_index[p] for p in cell.inputs]
+
+        self.devices: List[DeviceRec] = []
+        for t in cell.transistors:
+            if t.name in effect.removed:
+                continue
+            self.devices.append(
+                DeviceRec(
+                    index=len(self.devices),
+                    name=t.name,
+                    is_nmos=t.is_nmos,
+                    drain=self.net_index[t.drain],
+                    gate=self.net_index[t.gate],
+                    source=self.net_index[t.source],
+                    g_on=1.0 / self._ron(t),
+                    gate_open=t.name in effect.gate_open,
+                )
+            )
+
+        #: always-conducting resistive edges: (node_a, node_b, conductance)
+        self.static_edges: List[Tuple[int, int, float]] = []
+        g_drv = 1.0 / driver_resistance
+        for pin in cell.inputs:
+            self.static_edges.append(
+                (self.source_index[pin], self.net_index[pin], g_drv)
+            )
+        for net_a, net_b, resistance in effect.bridges:
+            a = self.net_index[net_a]
+            b = self.net_index[net_b]
+            if a != b:
+                self.static_edges.append((a, b, 1.0 / resistance))
+
+        #: nodes with externally fixed voltage (rails + virtual sources)
+        self.fixed_nodes: List[int] = [self.power, self.ground] + self.source_nodes
+
+    def _ron(self, t: Transistor) -> float:
+        rsq = self.params.rsq_nmos if t.is_nmos else self.params.rsq_pmos
+        return rsq * t.l / t.w
+
+    def fixed_values(self, input_codes: Sequence[int]) -> Dict[int, int]:
+        """Fixed logic values: rails plus the given per-pin codes."""
+        if len(input_codes) != len(self.source_nodes):
+            raise ValueError(
+                f"expected {len(self.source_nodes)} input values, "
+                f"got {len(input_codes)}"
+            )
+        out = {self.power: 1, self.ground: 0}
+        for node, code in zip(self.source_nodes, input_codes):
+            out[node] = int(code)
+        return out

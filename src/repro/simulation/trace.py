@@ -1,0 +1,113 @@
+"""Simulation tracing and VCD export.
+
+Records per-net logic states over a pattern sequence and writes standard
+VCD (Value Change Dump), so any waveform viewer can inspect golden or
+defective cell behaviour — the debugging loop an engineer runs when a
+CA detection looks surprising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.simulation.engine import CellSimulator
+
+#: logic code -> VCD value character
+_VCD_VALUE = {1: "1", 0: "0", -1: "x", -2: "x"}
+
+
+@dataclass
+class Trace:
+    """Per-net logic states over an applied pattern sequence."""
+
+    cell_name: str
+    nets: List[str]
+    #: applied binary input patterns, one per step
+    patterns: List[Tuple[int, ...]]
+    #: states[step][net] = logic code (1 / 0 / -1 for X)
+    states: List[Dict[str, int]] = field(default_factory=list)
+
+    def of(self, net: str) -> List[int]:
+        """The state sequence of one net."""
+        return [state[net] for state in self.states]
+
+    def changes(self, net: str) -> List[int]:
+        """Step indices at which *net* changes value."""
+        sequence = self.of(net)
+        return [
+            i
+            for i in range(1, len(sequence))
+            if sequence[i] != sequence[i - 1]
+        ]
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+def capture(
+    simulator: CellSimulator,
+    patterns: Sequence[Sequence[int]],
+) -> Trace:
+    """Run *patterns* through *simulator* with rolling state, recording
+    every cell net at every step."""
+    cell = simulator.cell
+    nets = sorted(cell.nets())
+    trace = Trace(cell_name=cell.name, nets=nets, patterns=[])
+    prev_codes = None
+    for raw in patterns:
+        vector = tuple(int(v) for v in raw)
+        codes = simulator._phase_with_codes(vector, prev_codes)
+        trace.patterns.append(vector)
+        trace.states.append(
+            {net: codes[simulator.graph.net_index[net]] for net in nets}
+        )
+        prev_codes = codes
+    return trace
+
+
+def to_vcd(
+    trace: Trace,
+    timescale: str = "1ns",
+    step: int = 10,
+) -> str:
+    """Render a trace as VCD text."""
+    # VCD identifier characters: printable ASCII from '!' onwards
+    identifiers = {
+        net: chr(33 + i) for i, net in enumerate(trace.nets)
+    }
+    lines: List[str] = []
+    lines.append(f"$comment cell {trace.cell_name} $end")
+    lines.append(f"$timescale {timescale} $end")
+    lines.append(f"$scope module {trace.cell_name} $end")
+    for net in trace.nets:
+        lines.append(f"$var wire 1 {identifiers[net]} {net} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    previous: Dict[str, Optional[int]] = {net: None for net in trace.nets}
+    for index, state in enumerate(trace.states):
+        emitted_time = False
+        for net in trace.nets:
+            value = state[net]
+            if value != previous[net]:
+                if not emitted_time:
+                    lines.append(f"#{index * step}")
+                    emitted_time = True
+                lines.append(f"{_VCD_VALUE.get(value, 'x')}{identifiers[net]}")
+                previous[net] = value
+    lines.append(f"#{len(trace.states) * step}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_vcd(
+    trace: Trace,
+    path: Union[str, Path],
+    timescale: str = "1ns",
+) -> Path:
+    """Write a trace to a ``.vcd`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_vcd(trace, timescale=timescale))
+    return path

@@ -1,0 +1,40 @@
+"""SPICE/CDL netlist model, parser and writer."""
+
+from repro.spice.netlist import (
+    NMOS,
+    PMOS,
+    TERMINALS,
+    CellNetlist,
+    NetlistError,
+    Transistor,
+    bulk_rail,
+)
+from repro.spice.parser import SpiceSyntaxError, parse_cell, parse_library, parse_value
+from repro.spice.writer import format_device, write_cell, write_library
+from repro.spice.dialects import Dialect, GENERIC, classify_model
+from repro.spice.dspf import annotate, reduce_parasitics
+from repro.spice.verilog import to_verilog, to_verilog_library
+
+__all__ = [
+    "NMOS",
+    "PMOS",
+    "TERMINALS",
+    "Transistor",
+    "CellNetlist",
+    "NetlistError",
+    "bulk_rail",
+    "parse_cell",
+    "parse_library",
+    "parse_value",
+    "SpiceSyntaxError",
+    "write_cell",
+    "write_library",
+    "format_device",
+    "Dialect",
+    "GENERIC",
+    "classify_model",
+    "annotate",
+    "reduce_parasitics",
+    "to_verilog",
+    "to_verilog_library",
+]

@@ -1,0 +1,99 @@
+"""SPICE netlist dialects.
+
+Different foundry kits write the "same" cell very differently: device name
+prefixes, model names, rail names, parameter spelling and unit suffixes all
+vary.  The paper stresses (Section II.A) that this variability is exactly
+what breaks naive learning across libraries — so the reproduction keeps it:
+each synthetic technology emits its own dialect, and the parser normalizes
+all of them back into :class:`repro.spice.netlist.CellNetlist`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Textual conventions of one library's SPICE/CDL netlists."""
+
+    name: str
+    #: model card name per device type, e.g. {"nmos": "nch", "pmos": "pch"}
+    models: Dict[str, str]
+    power: str = "VDD"
+    ground: str = "VSS"
+    #: prefix prepended to transistor instance names ('M', 'MM', 'XM', ...)
+    device_prefix: str = "M"
+    #: printf-style templates for geometry parameters
+    w_format: str = "W={w:g}u"
+    l_format: str = "L={l:g}u"
+    #: whether parameters are written lowercase
+    lowercase_params: bool = False
+    #: extra constant parameters appended to every device card
+    extra_params: Tuple[str, ...] = field(default_factory=tuple)
+
+    def model_for(self, ttype: str) -> str:
+        return self.models[ttype]
+
+    def ttype_for_model(self, model: str) -> str:
+        lowered = model.lower()
+        for ttype, name in self.models.items():
+            if name.lower() == lowered:
+                return ttype
+        raise KeyError(model)
+
+
+#: Generic dialect used when writing netlists without a technology context.
+GENERIC = Dialect(
+    name="generic",
+    models={"nmos": "nmos", "pmos": "pmos"},
+)
+
+#: Registry of known dialects, extended by repro.library.technology.
+REGISTRY: Dict[str, Dialect] = {"generic": GENERIC}
+
+
+def register(dialect: Dialect) -> Dialect:
+    """Add a dialect to the registry (idempotent) and return it."""
+    REGISTRY[dialect.name] = dialect
+    return dialect
+
+
+def get(name: str) -> Dialect:
+    """Fetch a registered dialect by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dialect {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Model-name classification for parsing foreign netlists
+# ----------------------------------------------------------------------
+
+#: Substrings that identify a PMOS model name in the wild.
+_PMOS_HINTS = ("pmos", "pch", "pfet", "ph", "pe", "p_")
+_NMOS_HINTS = ("nmos", "nch", "nfet", "nh", "ne", "n_")
+
+
+def classify_model(model: str) -> str:
+    """Best-effort mapping of a foundry model name to ``nmos``/``pmos``.
+
+    Checks the registry first, then falls back to naming heuristics
+    (the approach real CA flows use when reading third-party CDL).
+    """
+    lowered = model.lower()
+    for dialect in REGISTRY.values():
+        for ttype, name in dialect.models.items():
+            if name.lower() == lowered:
+                return ttype
+    for hint in _PMOS_HINTS:
+        if lowered.startswith(hint) or hint in lowered:
+            return "pmos"
+    for hint in _NMOS_HINTS:
+        if lowered.startswith(hint) or hint in lowered:
+            return "nmos"
+    raise ValueError(f"cannot classify device model {model!r}")

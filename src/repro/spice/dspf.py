@@ -1,0 +1,164 @@
+"""DSPF-lite parasitic netlist handling.
+
+The conventional flow starts "with a SPICE netlist representation of a
+standard cell which is usually derived from a layout description" in DSPF
+(Detailed Spice Parasitic Format): logical nets are split into segments
+joined by parasitic resistors, with capacitors to ground and between
+segments (paper, Section I / Fig. 1).
+
+This module provides the preprocessing a CA flow performs on such input:
+
+* :func:`annotate` — turn a clean cell into a DSPF-flavoured netlist text
+  (net segmentation + R/C elements), used by tests and examples to
+  exercise the reader;
+* :func:`reduce_parasitics` — recover the logical netlist from parsed
+  DSPF text by collapsing resistor-connected segment groups back into one
+  net (capacitors are dropped; the switch-level model has no use for
+  them).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.spice.netlist import CellNetlist, Transistor
+from repro.spice.parser import SpiceSyntaxError, _logical_lines, parse_value
+
+
+def annotate(
+    cell: CellNetlist,
+    segments_per_net: int = 2,
+    resistance: float = 12.0,
+    capacitance: float = 0.15e-15,
+) -> str:
+    """Serialize *cell* as DSPF-lite text with segmented internal nets.
+
+    Every internal net ``n`` becomes segments ``n`` , ``n__1``, ... joined
+    by parasitic resistors; device terminals are spread round-robin over
+    the segments; every segment gets a ground capacitor.
+    """
+    internal = sorted(cell.internal_nets() | set(cell.outputs))
+    segment_names: Dict[str, List[str]] = {}
+    for net in internal:
+        segment_names[net] = [net] + [
+            f"{net}__{i}" for i in range(1, segments_per_net)
+        ]
+
+    counters: Dict[str, int] = {net: 0 for net in internal}
+
+    def segment_of(net: str) -> str:
+        if net not in segment_names:
+            return net
+        names = segment_names[net]
+        index = counters[net] % len(names)
+        counters[net] += 1
+        return names[index]
+
+    lines = [f".SUBCKT {cell.name} " + " ".join(
+        list(cell.inputs) + list(cell.outputs) + [cell.power, cell.ground]
+    )]
+    for t in cell.transistors:
+        drain = segment_of(t.drain)
+        gate = segment_of(t.gate)
+        source = segment_of(t.source)
+        lines.append(
+            f"M{t.name} {drain} {gate} {source} {t.bulk} "
+            f"{t.model or t.ttype} W={t.w:g}u L={t.l:g}u"
+        )
+    element = 0
+    for net, names in segment_names.items():
+        for a, b in zip(names, names[1:]):
+            lines.append(f"R{element} {a} {b} {resistance:g}")
+            element += 1
+        for name in names:
+            lines.append(f"C{element} {name} {cell.ground} {capacitance:g}")
+            element += 1
+    lines.append(".ENDS")
+    return "\n".join(lines) + "\n"
+
+
+def reduce_parasitics(
+    text: str,
+    power: Optional[str] = None,
+    ground: Optional[str] = None,
+    max_resistance: float = 1_000.0,
+) -> CellNetlist:
+    """Parse DSPF-lite text and collapse parasitic segments.
+
+    Resistors up to *max_resistance* are treated as net joints (layout
+    parasitics); larger resistors are rejected, since silently merging
+    them would hide genuine resistive defects.
+    """
+    lines = _logical_lines(text)
+    if not lines or not lines[0].upper().startswith(".SUBCKT"):
+        raise SpiceSyntaxError("DSPF input must start with .SUBCKT")
+    header = lines[0].split()
+    name, ports = header[1], header[2:]
+
+    # Union-find over nets joined by parasitic resistors.
+    parent: Dict[str, str] = {}
+
+    def find(x: str) -> str:
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(primary: str, secondary: str) -> None:
+        ra, rb = find(primary), find(secondary)
+        if ra != rb:
+            parent[rb] = ra
+
+    device_cards: List[List[str]] = []
+    for line in lines[1:]:
+        if line.upper().startswith(".ENDS"):
+            break
+        kind = line[0].upper()
+        tokens = line.split()
+        if kind == "R":
+            if len(tokens) < 4:
+                raise SpiceSyntaxError(f"malformed resistor card: {line!r}")
+            value = parse_value(tokens[3])
+            if value > max_resistance:
+                raise SpiceSyntaxError(
+                    f"resistor {tokens[0]} ({value:g} ohm) exceeds the "
+                    f"parasitic threshold {max_resistance:g}"
+                )
+            union(tokens[1], tokens[2])
+        elif kind == "C":
+            continue
+        elif kind in ("M", "X"):
+            device_cards.append(tokens)
+        else:
+            raise SpiceSyntaxError(f"unsupported DSPF element: {line!r}")
+
+    # Representative of each joined group: a port name when the group
+    # touches one, else the lexicographically smallest member.
+    groups: Dict[str, List[str]] = {}
+    for net in parent:
+        groups.setdefault(find(net), []).append(net)
+    canonical: Dict[str, str] = {}
+    port_set = set(ports)
+    for root, members in groups.items():
+        in_ports = sorted(set(members) & port_set)
+        canonical[root] = in_ports[0] if in_ports else min(members)
+
+    def resolve(net: str) -> str:
+        if net not in parent:
+            return net
+        return canonical[find(net)]
+
+    body = []
+    for tokens in device_cards:
+        card = tokens[0] + " " + " ".join(
+            [resolve(tokens[1]), resolve(tokens[2]), resolve(tokens[3]), tokens[4]]
+            + tokens[5:]
+        )
+        body.append(card)
+    clean = ".SUBCKT {} {}\n{}\n.ENDS\n".format(
+        name, " ".join(ports), "\n".join(body)
+    )
+    from repro.spice.parser import parse_cell
+
+    return parse_cell(clean, power=power, ground=ground)

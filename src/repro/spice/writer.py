@@ -1,0 +1,65 @@
+"""SPICE netlist writer.
+
+Writes :class:`~repro.spice.netlist.CellNetlist` objects back to text in a
+chosen :class:`~repro.spice.dialects.Dialect`, so that round-tripping
+through a foreign library's conventions can be exercised in tests and
+examples (the paper's Section II.A observation that "a transistor label
+does not always correspond to the same transistor in two similar cells").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.spice.dialects import Dialect, GENERIC
+from repro.spice.netlist import CellNetlist, Transistor
+
+
+def format_device(t: Transistor, dialect: Dialect = GENERIC, index: Optional[int] = None) -> str:
+    """Format one MOS instance card."""
+    name = t.name
+    if index is not None:
+        name = f"{dialect.device_prefix}{index}"
+    elif not name.upper().startswith(dialect.device_prefix.upper()):
+        name = f"{dialect.device_prefix}{name}"
+    model = dialect.model_for(t.ttype)
+    w = dialect.w_format.format(w=t.w)
+    l = dialect.l_format.format(l=t.l)
+    if dialect.lowercase_params:
+        w, l = w.lower(), l.lower()
+    parts = [name, t.drain, t.gate, t.source, t.bulk, model, w, l]
+    parts.extend(dialect.extra_params)
+    return " ".join(parts)
+
+
+def write_cell(
+    cell: CellNetlist,
+    dialect: Dialect = GENERIC,
+    renumber: bool = False,
+    header_comment: str = "",
+) -> str:
+    """Serialize one cell as a ``.SUBCKT`` block."""
+    ports = list(cell.inputs) + list(cell.outputs) + [cell.power, cell.ground]
+    lines: List[str] = []
+    if header_comment:
+        lines.append(f"* {header_comment}")
+    lines.append(f".SUBCKT {cell.name} " + " ".join(ports))
+    for i, t in enumerate(cell.transistors):
+        lines.append(format_device(t, dialect, index=i if renumber else None))
+    lines.append(".ENDS")
+    return "\n".join(lines) + "\n"
+
+
+def write_library(
+    cells: Iterable[CellNetlist],
+    dialect: Dialect = GENERIC,
+    renumber: bool = False,
+    title: str = "",
+) -> str:
+    """Serialize a whole library."""
+    chunks: List[str] = []
+    if title:
+        chunks.append(f"* {title}\n")
+    for cell in cells:
+        chunks.append(write_cell(cell, dialect, renumber=renumber))
+    return "\n".join(chunks)

@@ -1,0 +1,164 @@
+"""Unit tests for branch extraction, equations and descriptors."""
+
+import pytest
+
+from repro.camatrix import (
+    EqLeaf,
+    EqParallel,
+    EqSeries,
+    extract_branches,
+    path_expression,
+    sp_reduce,
+)
+from repro.camatrix.branches import leaf_descriptors, min_conduction_path
+from repro.camatrix.activity import activity_values
+from repro.experiments import fig5_cell
+from repro.library import SOI28, build_cell
+from repro.spice import Transistor
+
+
+def _t(name, ttype, d, g, s):
+    return Transistor(name, ttype, d, g, s, "VSS" if ttype == "nmos" else "VDD")
+
+
+class TestSPReduce:
+    def test_single_device(self):
+        devices = [_t("M0", "nmos", "Z", "A", "VSS")]
+        eq = sp_reduce(devices, "Z", "VSS")
+        assert eq is not None and eq.anon() == "1n"
+
+    def test_series(self):
+        devices = [
+            _t("M0", "nmos", "Z", "A", "n1"),
+            _t("M1", "nmos", "n1", "B", "VSS"),
+        ]
+        eq = sp_reduce(devices, "Z", "VSS")
+        assert eq.anon() == "(1n&1n)"
+
+    def test_parallel(self):
+        devices = [
+            _t("M0", "nmos", "Z", "A", "VSS"),
+            _t("M1", "nmos", "Z", "B", "VSS"),
+        ]
+        eq = sp_reduce(devices, "Z", "VSS")
+        assert eq.anon() == "(1n|1n)"
+
+    def test_fig5_nmos_network(self):
+        # ((N0 & (N1|N2)) | N3), the paper's example
+        devices = [
+            _t("N0", "nmos", "Y", "A", "n1"),
+            _t("N1", "nmos", "n1", "B", "VSS"),
+            _t("N2", "nmos", "n1", "C", "VSS"),
+            _t("N3", "nmos", "Y", "D", "VSS"),
+        ]
+        eq = sp_reduce(devices, "Y", "VSS")
+        assert eq.anon() == "(((1n|1n)&1n)|1n)"
+
+    def test_non_sp_returns_none(self):
+        # wheatstone-bridge topology is not series-parallel
+        devices = [
+            _t("M0", "nmos", "Z", "A", "n1"),
+            _t("M1", "nmos", "Z", "B", "n2"),
+            _t("M2", "nmos", "n1", "C", "n2"),
+            _t("M3", "nmos", "n1", "D", "VSS"),
+            _t("M4", "nmos", "n2", "E", "VSS"),
+        ]
+        assert sp_reduce(devices, "Z", "VSS") is None
+
+    def test_path_expression_fallback(self):
+        devices = [
+            _t("M0", "nmos", "Z", "A", "n1"),
+            _t("M1", "nmos", "Z", "B", "n2"),
+            _t("M2", "nmos", "n1", "C", "n2"),
+            _t("M3", "nmos", "n1", "D", "VSS"),
+            _t("M4", "nmos", "n2", "E", "VSS"),
+        ]
+        eq = path_expression(devices, "Z", "VSS")
+        assert eq is not None
+        # 4 simple paths through the bridge
+        assert eq.anon().count("&") >= 3
+
+    def test_path_expression_unreachable(self):
+        devices = [_t("M0", "nmos", "Z", "A", "n1")]
+        assert path_expression(devices, "Z", "VSS") is None
+
+
+class TestEquationNodes:
+    def test_anon_sorts_operands(self):
+        a = EqLeaf(_t("M0", "nmos", "Z", "A", "VSS"))
+        b = EqLeaf(_t("M1", "pmos", "Z", "A", "VDD"))
+        assert EqParallel(a, b).anon() == EqParallel(b, a).anon()
+
+    def test_canonical_ties_broken_by_activity(self):
+        a = EqLeaf(_t("M0", "nmos", "Z", "A", "VSS"))
+        b = EqLeaf(_t("M1", "nmos", "Z", "B", "VSS"))
+        activity = {"M0": 5, "M1": 3}
+        ordered = EqParallel(a, b).canonical(activity)
+        assert [t.name for t in ordered.devices()] == ["M1", "M0"]
+
+    def test_flattening(self):
+        a, b, c = (
+            EqLeaf(_t(f"M{i}", "nmos", "Z", "A", "VSS")) for i in range(3)
+        )
+        nested = EqParallel(EqParallel(a, b), c)
+        assert len(nested.children) == 3
+
+    def test_named_rendering(self):
+        a = EqLeaf(_t("M0", "nmos", "Z", "A", "n1"))
+        b = EqLeaf(_t("M1", "nmos", "n1", "B", "VSS"))
+        eq = EqSeries(a, b)
+        assert eq.named({"M0": "N0", "M1": "N1"}) == "(N0&N1)"
+
+
+class TestExtractBranches:
+    def test_nand2_single_branch(self, nand2):
+        activity = activity_values(nand2, params=SOI28.electrical)
+        branches = extract_branches(nand2, activity)
+        assert len(branches) == 1
+        assert branches[0].exit_net == "Z"
+        assert branches[0].level == 1
+        assert branches[0].anon == "((1n&1n)|1p|1p)"
+
+    def test_and2_two_branches_levels(self, and2):
+        activity = activity_values(and2, params=SOI28.electrical)
+        branches = extract_branches(and2, activity)
+        assert len(branches) == 2
+        assert branches[0].level == 1 and branches[0].anon == "(1n|1p)"
+        assert branches[1].level == 2
+
+    def test_sorting_by_level_then_size(self):
+        cell = fig5_cell()
+        activity = activity_values(cell)
+        branches = extract_branches(cell, activity)
+        keys = [(b.level, b.n_devices, b.anon) for b in branches]
+        assert keys == sorted(keys)
+        assert branches[0].anon == "(1n|1p)"  # the output inverter
+
+    def test_indices_assigned(self, aoi21):
+        activity = activity_values(aoi21, params=SOI28.electrical)
+        branches = extract_branches(aoi21, activity)
+        assert [b.index for b in branches] == list(range(len(branches)))
+
+
+class TestDescriptors:
+    def test_min_conduction_path(self):
+        a = EqLeaf(_t("M0", "nmos", "Z", "A", "n1"))
+        b = EqLeaf(_t("M1", "nmos", "n1", "B", "VSS"))
+        c = EqLeaf(_t("M2", "nmos", "Z", "C", "VSS"))
+        assert min_conduction_path(EqSeries(a, b)) == 2
+        assert min_conduction_path(EqParallel(EqSeries(a, b), c)) == 1
+
+    def test_nand2_vs_nor2_distinct(self, nand2, nor2):
+        from repro.camatrix import rename_transistors
+
+        rn = rename_transistors(nand2, SOI28.electrical)
+        rr = rename_transistors(nor2, SOI28.electrical)
+        assert rn.structure["N0"] != rr.structure["N0"]
+
+    def test_merged_split_identical(self):
+        from repro.camatrix import rename_transistors
+        from repro.library import C40
+
+        merged = rename_transistors(build_cell(SOI28, "NAND2", 2), SOI28.electrical)
+        split = rename_transistors(build_cell(C40, "NAND2", 2), C40.electrical)
+        assert merged.structure == split.structure

@@ -1,0 +1,109 @@
+"""Unit tests for technologies and library building."""
+
+import pytest
+
+from repro.library import (
+    C28,
+    C40,
+    SOI28,
+    TECHNOLOGIES,
+    Flavor,
+    build_cell,
+    build_library,
+    build_preset,
+    get_technology,
+)
+from repro.library.technology import C28_EXCLUSIVE, C40_EXCLUSIVE, COMMON
+
+
+class TestTechnology:
+    def test_registry(self):
+        assert set(TECHNOLOGIES) == {"soi28", "c40", "c28"}
+        assert get_technology("c40") is C40
+        with pytest.raises(KeyError):
+            get_technology("c14")
+
+    def test_pin_styles_differ(self):
+        assert SOI28.pin_names(2) == ["A", "B"]
+        assert C40.pin_names(2) == ["A1", "A2"]
+        assert C28.pin_names(2) == ["IN1", "IN2"]
+
+    def test_cell_names(self):
+        assert SOI28.cell_name("NAND2", 2, SOI28.flavors[0]) == "S28_NAND2X2"
+        assert SOI28.cell_name("NAND2", 1, SOI28.flavors[1]) == "S28_NAND2X1_LVT"
+
+    def test_shuffle_seed_deterministic_and_distinct(self):
+        a = SOI28.shuffle_seed("S28_NAND2X1")
+        assert a == SOI28.shuffle_seed("S28_NAND2X1")
+        assert a != C40.shuffle_seed("S28_NAND2X1")
+
+    def test_function_partition(self):
+        assert set(C28_EXCLUSIVE).isdisjoint(SOI28.functions)
+        assert set(C40_EXCLUSIVE).isdisjoint(SOI28.functions)
+        assert set(COMMON) <= set(SOI28.functions)
+        assert set(COMMON) <= set(C40.functions)
+        assert set(COMMON) <= set(C28.functions)
+
+    def test_drive_styles(self):
+        assert SOI28.drive_style == "merged"
+        assert C40.drive_style == "split"
+
+
+class TestBuildCell:
+    def test_names_and_metadata(self):
+        cell = build_cell(C40, "NAND2", 2)
+        assert cell.name == "C40_NAND2X2"
+        assert cell.technology == "c40"
+        assert cell.function == "NAND2"
+        assert cell.inputs == ["A1", "A2"]
+        assert cell.power == "VDD" and cell.ground == "GND"
+
+    def test_flavor_scales_width(self):
+        std = build_cell(SOI28, "INV", 1, SOI28.flavors[0])
+        lvt = build_cell(SOI28, "INV", 1, SOI28.flavors[1])
+        assert lvt.transistors[0].w > std.transistors[0].w
+
+    def test_transistor_order_differs_across_technologies(self):
+        a = build_cell(SOI28, "AOI21", 1)
+        b = build_cell(C28, "AOI21", 1)
+        type_order_a = [t.ttype for t in a.transistors]
+        type_order_b = [t.ttype for t in b.transistors]
+        # same multiset of devices, but (generally) different ordering
+        assert sorted(type_order_a) == sorted(type_order_b)
+
+
+class TestBuildLibrary:
+    def test_filters(self):
+        lib = build_library(SOI28, functions=("INV", "NAND2"), drives=(1,),
+                            flavors=(Flavor("STD"),))
+        assert len(lib) == 2
+        assert lib.functions() == ["INV", "NAND2"]
+
+    def test_max_inputs(self):
+        lib = build_library(SOI28, drives=(1,), flavors=(Flavor("STD"),),
+                            max_inputs=2)
+        assert all(c.n_inputs <= 2 for c in lib)
+
+    def test_group_keys(self):
+        lib = build_preset("soi28", "tiny")
+        for key, cells in lib.by_group().items():
+            for cell in cells:
+                assert cell.group_key == key
+
+    def test_cell_lookup(self):
+        lib = build_preset("soi28", "tiny")
+        name = lib.cells[0].name
+        assert lib.cell(name).name == name
+        with pytest.raises(KeyError):
+            lib.cell("NOPE")
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            build_preset("soi28", "giga")
+
+    def test_composition_ratios(self):
+        sizes = {t: len(build_preset(t, "default")) for t in ("soi28", "c40", "c28")}
+        # 28SOI is the big training library, the other two roughly half
+        assert sizes["soi28"] > sizes["c40"] > 0
+        assert sizes["soi28"] > sizes["c28"] > 0
+        assert sizes["c40"] + sizes["c28"] > sizes["soi28"]

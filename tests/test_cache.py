@@ -1,0 +1,34 @@
+"""Unit tests for the experiment CA-model disk cache."""
+
+import pytest
+
+from repro.experiments.cache import cache_path, library_with_models, paired
+
+
+class TestCache:
+    def test_generate_then_reload(self, tmp_path):
+        library, models = library_with_models("soi28", "tiny", cache_dir=tmp_path)
+        assert len(models) == len(library)
+        path = cache_path("soi28", "tiny", tmp_path)
+        assert path.exists()
+
+        # a second call must load, not regenerate (same object content)
+        library2, models2 = library_with_models("soi28", "tiny", cache_dir=tmp_path)
+        assert set(models2) == set(models)
+        for name in models:
+            assert (models2[name].detection == models[name].detection).all()
+
+    def test_paired_order_matches_library(self, tmp_path):
+        library, models = library_with_models("soi28", "tiny", cache_dir=tmp_path)
+        pairs = paired(library, models)
+        assert [cell.name for cell, _m in pairs] == [c.name for c in library]
+        for cell, model in pairs:
+            assert cell.name == model.cell_name
+
+    def test_cache_file_is_json(self, tmp_path):
+        import json
+
+        library_with_models("soi28", "tiny", cache_dir=tmp_path)
+        payload = json.loads(cache_path("soi28", "tiny", tmp_path).read_text())
+        assert payload["format"] == 1
+        assert payload["models"]

@@ -1,0 +1,57 @@
+"""Every catalog function must implement its reference formula in every
+technology — the foundation the whole dataset stands on."""
+
+import pytest
+
+from repro.library import CATALOG, SOI28, C28, C40, build_cell, function_names, get_function
+from repro.logic import truth_table
+from repro.simulation import logic_check
+
+
+class TestCatalogIntegrity:
+    def test_names_sorted_and_unique(self):
+        names = function_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            get_function("NAND9")
+
+    @pytest.mark.parametrize("name", function_names())
+    def test_spec_matches_input_count(self, name):
+        fdef = CATALOG[name]
+        pins = [f"I{i}" for i in range(fdef.n_inputs)]
+        spec = fdef.spec(pins, "Z")
+        assert spec.inputs == tuple(pins)
+        assert spec.n_transistors % 2 == 0
+
+    def test_spec_wrong_pin_count(self):
+        with pytest.raises(ValueError):
+            CATALOG["NAND2"].spec(["A"], "Z")
+
+    @pytest.mark.parametrize("name", function_names())
+    def test_formula_parses(self, name):
+        fdef = CATALOG[name]
+        pins = [f"I{i}" for i in range(fdef.n_inputs)]
+        table = truth_table(fdef.expr(pins), pins)
+        assert len(table) == 2 ** fdef.n_inputs
+
+
+@pytest.mark.parametrize("tech", [SOI28, C40, C28], ids=lambda t: t.name)
+@pytest.mark.parametrize("name", function_names())
+def test_netlist_implements_formula(tech, name):
+    """Switch-level behaviour equals the reference Boolean function."""
+    cell = build_cell(tech, name, 1)
+    mismatches = logic_check(cell, CATALOG[name].expr(cell.inputs), tech.electrical)
+    assert not mismatches, mismatches[:4]
+
+
+@pytest.mark.parametrize("drive", [2, 4])
+def test_drive_variants_implement_formula(drive):
+    for name in ("NAND2", "AOI21", "XOR2"):
+        for tech in (SOI28, C40):
+            cell = build_cell(tech, name, drive)
+            assert not logic_check(
+                cell, CATALOG[name].expr(cell.inputs), tech.electrical
+            )

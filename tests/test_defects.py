@@ -1,0 +1,152 @@
+"""Unit tests for defect models, universes and equivalence classes."""
+
+import numpy as np
+import pytest
+
+from repro.defects import (
+    Defect,
+    INTER_SHORT,
+    OPEN,
+    SHORT,
+    TERMINAL_PAIRS,
+    collapse_ratio,
+    default_universe,
+    enumerate_inter_shorts,
+    enumerate_opens,
+    enumerate_shorts,
+    equivalence_classes,
+)
+from repro.library import SOI28, build_cell
+
+
+class TestDefectModel:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            Defect("D0", "bridge", ("a", "b"))
+
+    def test_location_arity_validated(self):
+        with pytest.raises(ValueError):
+            Defect("D0", OPEN, ("M0",))
+        with pytest.raises(ValueError):
+            Defect("D0", SHORT, ("M0", "D"))
+
+    def test_describe(self):
+        assert "open on M0.D" in Defect("D0", OPEN, ("M0", "D")).describe()
+        assert "short M0.D-M0.S" in Defect("D1", SHORT, ("M0", "D", "S")).describe()
+
+    def test_affected_terminals_open(self, nand2):
+        name = nand2.transistors[0].name
+        d = Defect("D0", OPEN, (name, "G"))
+        assert d.affected_terminals(nand2) == frozenset({(name, "G")})
+
+    def test_affected_terminals_short(self, nand2):
+        name = nand2.transistors[0].name
+        d = Defect("D0", SHORT, (name, "D", "S"))
+        assert d.affected_terminals(nand2) == frozenset({(name, "D"), (name, "S")})
+
+    def test_affected_terminals_inter_short(self, nand2):
+        out = nand2.outputs[0]
+        d = Defect("D0", INTER_SHORT, (out, nand2.inputs[0]))
+        marked = d.affected_terminals(nand2)
+        # every terminal touching Z or A is marked
+        for t in nand2.transistors:
+            for term in ("D", "G", "S", "B"):
+                expected = t.terminal(term) in (out, nand2.inputs[0])
+                assert ((t.name, term) in marked) == expected
+
+    def test_effect_open_drain_removes(self, nand2):
+        name = nand2.transistors[0].name
+        eff = Defect("D0", OPEN, (name, "D")).effect(nand2, 300.0)
+        assert name in eff.removed and not eff.benign
+
+    def test_effect_open_gate(self, nand2):
+        name = nand2.transistors[0].name
+        eff = Defect("D0", OPEN, (name, "G")).effect(nand2, 300.0)
+        assert name in eff.gate_open
+
+    def test_effect_open_bulk_benign(self, nand2):
+        name = nand2.transistors[0].name
+        assert Defect("D0", OPEN, (name, "B")).effect(nand2, 300.0).benign
+
+    def test_effect_short_bridges_nets(self, nand2):
+        t = nand2.transistors[0]
+        eff = Defect("D0", SHORT, (t.name, "D", "S")).effect(nand2, 300.0)
+        assert eff.bridges == ((t.drain, t.source, 300.0),)
+
+    def test_effect_short_same_net_benign(self, nand2):
+        # source-bulk of a rail-connected NMOS shorts a net to itself
+        t = next(x for x in nand2.transistors if x.is_nmos and x.source == x.bulk)
+        eff = Defect("D0", SHORT, (t.name, "S", "B")).effect(nand2, 300.0)
+        assert eff.benign
+
+    def test_effect_unknown_transistor(self, nand2):
+        from repro.spice import NetlistError
+
+        with pytest.raises(NetlistError):
+            Defect("D0", OPEN, ("MXX", "D")).effect(nand2, 300.0)
+
+
+class TestUniverse:
+    def test_counts(self, nand2):
+        t = nand2.n_transistors
+        assert len(enumerate_opens(nand2)) == 4 * t
+        assert len(enumerate_shorts(nand2)) == 6 * t
+        assert len(default_universe(nand2)) == 10 * t
+
+    def test_terminal_pairs(self):
+        assert len(TERMINAL_PAIRS) == 6
+
+    def test_names_sequential_and_unique(self, nand2):
+        universe = default_universe(nand2)
+        names = [d.name for d in universe]
+        assert names == [f"D{i}" for i in range(len(universe))]
+
+    def test_inter_shorts_skip_rails(self, nand2):
+        inter = enumerate_inter_shorts(nand2)
+        for d in inter:
+            assert "VDD" not in d.location and "VSS" not in d.location
+
+    def test_universe_composition_flags(self, nand2):
+        opens_only = default_universe(nand2, include_shorts=False)
+        assert all(d.kind == OPEN for d in opens_only)
+        with_inter = default_universe(nand2, include_inter_shorts=True)
+        assert any(d.kind == INTER_SHORT for d in with_inter)
+
+
+class TestEquivalence:
+    def test_grouping(self):
+        detection = np.array([[1, 0], [1, 0], [0, 1], [0, 0]], dtype=np.int8)
+        classes = equivalence_classes(detection, ["D0", "D1", "D2", "D3"])
+        assert len(classes) == 3
+        assert classes[0].members == ("D0", "D1")
+        assert classes[0].representative == "D0"
+        assert classes[2].is_undetectable
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            equivalence_classes(np.zeros((2, 3)), ["D0"])
+
+    def test_collapse_ratio(self):
+        detection = np.array([[1, 0], [1, 0], [0, 1]], dtype=np.int8)
+        classes = equivalence_classes(detection, ["a", "b", "c"])
+        assert collapse_ratio(classes, 3) == pytest.approx(1 / 3)
+        assert collapse_ratio([], 0) == 0.0
+
+    def test_real_cell_has_equivalences(self, nand2_model):
+        classes = nand2_model.equivalence()
+        assert len(classes) < nand2_model.n_defects
+        assert sum(len(c) for c in classes) == nand2_model.n_defects
+
+    def test_drain_source_opens_equivalent(self, nand2, nand2_model):
+        # opening D or S of the same device removes the same channel edge
+        name = nand2.transistors[0].name
+        universe = nand2_model.defects
+        d_open = next(
+            d for d in universe if d.kind == OPEN and d.location == (name, "D")
+        )
+        s_open = next(
+            d for d in universe if d.kind == OPEN and d.location == (name, "S")
+        )
+        row_d = nand2_model.detection_row(d_open.name)
+        row_s = nand2_model.detection_row(s_open.name)
+        assert (row_d == row_s).all()

@@ -1,0 +1,73 @@
+"""Unit tests for DSPF-lite annotation and parasitic reduction."""
+
+import pytest
+
+from repro.library import SOI28, build_cell
+from repro.library.catalog import CATALOG
+from repro.simulation import logic_check
+from repro.spice import SpiceSyntaxError
+from repro.spice.dspf import annotate, reduce_parasitics
+
+
+class TestAnnotate:
+    def test_contains_parasitics(self, nand2):
+        text = annotate(nand2)
+        assert "R0" in text and "C" in text
+        assert "__1" in text  # segmented nets
+
+    def test_segment_count(self, nand2):
+        text = annotate(nand2, segments_per_net=3)
+        assert "__2" in text
+
+    def test_ports_unsegmented(self, nand2):
+        text = annotate(nand2)
+        header = text.splitlines()[0]
+        assert "__" not in header
+
+
+class TestReduce:
+    @pytest.mark.parametrize("function", ["NAND2", "AOI21", "AND2", "XOR2"])
+    def test_roundtrip_preserves_behaviour(self, function):
+        cell = build_cell(SOI28, function, 1)
+        back = reduce_parasitics(annotate(cell))
+        assert back.n_transistors == cell.n_transistors
+        assert back.inputs == cell.inputs
+        assert not logic_check(back, CATALOG[function].expr(back.inputs),
+                               SOI28.electrical)
+
+    def test_roundtrip_more_segments(self):
+        cell = build_cell(SOI28, "OAI21", 1)
+        back = reduce_parasitics(annotate(cell, segments_per_net=4))
+        assert not logic_check(back, CATALOG["OAI21"].expr(back.inputs),
+                               SOI28.electrical)
+
+    def test_large_resistor_rejected(self, nand2):
+        text = annotate(nand2, resistance=50_000.0)
+        with pytest.raises(SpiceSyntaxError):
+            reduce_parasitics(text)
+
+    def test_threshold_configurable(self, nand2):
+        text = annotate(nand2, resistance=50_000.0)
+        back = reduce_parasitics(text, max_resistance=100_000.0)
+        assert back.n_transistors == nand2.n_transistors
+
+    def test_requires_subckt(self):
+        with pytest.raises(SpiceSyntaxError):
+            reduce_parasitics("M0 a b c d nmos\n")
+
+    def test_unsupported_element(self, nand2):
+        text = annotate(nand2).replace(".ENDS", "L1 Z VSS 1n\n.ENDS")
+        with pytest.raises(SpiceSyntaxError):
+            reduce_parasitics(text)
+
+    def test_renaming_matches_clean_cell(self, nand2):
+        """The canonical form must be identical whether the cell came in
+        clean or through DSPF reduction (Fig. 1's input path)."""
+        from repro.camatrix import rename_transistors
+
+        clean = rename_transistors(nand2, SOI28.electrical)
+        reduced = rename_transistors(
+            reduce_parasitics(annotate(nand2)), SOI28.electrical
+        )
+        assert clean.signature == reduced.signature
+        assert sorted(clean.activity.items()) == sorted(reduced.activity.items())

@@ -1,0 +1,150 @@
+"""Additional edge-coverage tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.camodel import expected_count, save_models, load_models
+from repro.learning import (
+    KNeighborsClassifier,
+    LinearSVC,
+    RandomForestClassifier,
+    confusion_matrix,
+)
+from repro.library import SOI28, C40, build_cell
+from repro.spice import Dialect, GENERIC, format_device, parse_cell, write_cell
+from repro.spice.dialects import get as get_dialect
+
+
+class TestDialects:
+    def test_registry_lookup(self):
+        assert get_dialect("generic") is GENERIC
+        assert get_dialect("c40").device_prefix == "MM"
+        with pytest.raises(KeyError):
+            get_dialect("tsmc5")
+
+    def test_model_for_and_back(self):
+        dialect = get_dialect("soi28")
+        assert dialect.model_for("nmos") == "nsvt28"
+        assert dialect.ttype_for_model("NSVT28") == "nmos"
+        with pytest.raises(KeyError):
+            dialect.ttype_for_model("nch")
+
+    def test_lowercase_params_dialect(self):
+        cell = build_cell(C40, "INV", 1)
+        text = write_cell(cell, C40.dialect)
+        assert "w=" in text and "W=" not in text
+
+    def test_format_device_with_index(self):
+        cell = build_cell(SOI28, "INV", 1)
+        line = format_device(cell.transistors[0], GENERIC, index=7)
+        assert line.startswith("M7 ")
+
+    def test_extra_params_emitted(self):
+        dialect = Dialect(
+            name="xp", models={"nmos": "nmos", "pmos": "pmos"},
+            extra_params=("m=1", "nf=2"),
+        )
+        cell = build_cell(SOI28, "INV", 1)
+        line = format_device(cell.transistors[0], dialect)
+        assert line.endswith("m=1 nf=2")
+        parsed = parse_cell(write_cell(cell, dialect))
+        assert parsed.n_transistors == 2
+
+
+class TestStimuliCounts:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_exhaustive_matches_paper_formula(self, n):
+        # 2^n static + 2^n * (2^n - 1) dynamic = 4^n
+        static = 2 ** n
+        assert expected_count(n, "exhaustive") == static + static * (static - 1)
+
+
+class TestModelLibraryIO:
+    def test_empty_library_roundtrip(self, tmp_path):
+        path = save_models([], tmp_path / "empty.json")
+        assert load_models(path) == []
+
+    def test_bad_library_format(self, tmp_path):
+        (tmp_path / "bad.json").write_text('{"format": 7, "models": []}')
+        with pytest.raises(ValueError):
+            load_models(tmp_path / "bad.json")
+
+
+class TestClassifiersEdge:
+    def test_forest_handles_class_missing_from_bootstrap(self):
+        # 1 positive among many rows: some bootstraps miss it entirely
+        X = np.zeros((50, 3), dtype=np.int8)
+        X[0] = 3
+        y = np.zeros(50, dtype=int)
+        y[0] = 1
+        forest = RandomForestClassifier(
+            n_estimators=10, max_samples=0.2, random_state=0
+        ).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (50, 2)
+        assert np.isfinite(proba).all()
+
+    def test_knn_chunk_boundaries(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 3, size=(300, 4)).astype(np.int8)
+        y = (X[:, 0] == 1).astype(int)
+        knn = KNeighborsClassifier(n_neighbors=3, chunk_size=7).fit(X, y)
+        pred = knn.predict(X[:50])
+        assert pred.shape == (50,)
+
+    def test_svm_multiclass(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 3))
+        y = np.argmax(X, axis=1)  # 3 classes
+        clf = LinearSVC(n_iterations=1500, random_state=0).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.8
+
+    def test_multiclass_confusion(self):
+        cm = confusion_matrix(np.array([0, 1, 2, 2]), np.array([0, 2, 2, 1]))
+        assert cm.shape == (3, 3)
+        assert cm.trace() == 2
+
+
+class TestCAMatrixEdges:
+    def test_universe_filter(self, nand2):
+        from repro.camatrix import build_matrix
+        from repro.defects import enumerate_opens
+
+        universe = enumerate_opens(nand2)
+        matrix = build_matrix(
+            nand2, params=SOI28.electrical, universe=universe, policy="static"
+        )
+        assert len(matrix.defects) == len(universe)
+        assert matrix.n_rows == (len(universe) + 1) * 4
+
+    def test_rows_of_defect(self, nand2, nand2_model):
+        from repro.camatrix import training_matrix
+
+        matrix = training_matrix(nand2, nand2_model, SOI28.electrical)
+        rows = matrix.rows_of_defect(0)
+        assert len(rows) == nand2_model.n_stimuli
+        assert (matrix.row_defect[rows] == 0).all()
+
+    def test_bad_output_rejected(self, nand2):
+        from repro.camatrix import build_matrix
+
+        with pytest.raises(ValueError):
+            build_matrix(nand2, params=SOI28.electrical, output="Q")
+
+
+class TestCostModelEdges:
+    def test_policy_affects_cost(self, aoi21):
+        from repro.flow import CostModel
+
+        cost = CostModel()
+        exhaustive = cost.spice_seconds(aoi21, policy="exhaustive")
+        adjacent = cost.spice_seconds(aoi21, policy="adjacent")
+        assert exhaustive > adjacent
+
+    def test_model_based_cost(self, nand2_model):
+        from repro.flow import CostModel
+
+        cost = CostModel(seconds_per_spice_simulation=3.0)
+        assert cost.spice_seconds_for_model(nand2_model) == pytest.approx(
+            3.0 * nand2_model.simulation_count
+        )

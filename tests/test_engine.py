@@ -1,0 +1,146 @@
+"""Unit tests for the cell simulation engine (responses, dynamics, caching)."""
+
+import pytest
+
+from repro.library import SOI28, build_cell
+from repro.logic import V4, parse_word
+from repro.simulation import CellSimulator, DefectEffect, SimulationError, golden_simulator
+
+
+class TestGoldenResponses:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("00", "1"),
+            ("01", "1"),
+            ("10", "1"),
+            ("11", "0"),
+            ("R1", "F"),
+            ("1R", "F"),
+            ("F1", "R"),
+            ("RF", "1"),
+            ("RR", "F"),
+            ("R0", "1"),
+        ],
+    )
+    def test_nand2(self, nand2_sim, word, expected):
+        assert str(nand2_sim.output_response(parse_word(word))) == expected
+
+    def test_waveforms_include_all_nets(self, nand2, nand2_sim):
+        waves = nand2_sim.net_waveforms(parse_word("R1"))
+        assert set(waves) == nand2.nets()
+        assert waves["A"] is V4.RISE
+        assert waves["B"] is V4.ONE
+
+    def test_static_net_codes(self, nand2, nand2_sim):
+        codes = nand2_sim.static_net_codes((1, 1))
+        assert codes[nand2.outputs[0]] == 0
+        assert codes[nand2.power] == 1
+
+    def test_wrong_arity_raises(self, nand2_sim):
+        with pytest.raises(SimulationError):
+            nand2_sim.output_response(parse_word("111"))
+
+    def test_x_stimulus_rejected(self, nand2_sim):
+        with pytest.raises(SimulationError):
+            nand2_sim.output_response((V4.X, V4.ONE))
+
+
+class TestCaching:
+    def test_memoryless_cache_bounds_solves(self, nand2):
+        sim = golden_simulator(nand2, SOI28.electrical)
+        from repro.camodel import stimuli
+
+        for word in stimuli(2, "exhaustive"):
+            sim.output_response(word)
+        # golden: nothing floats -> only the 4 static phases are solved
+        assert sim.solve_count == 4
+
+    def test_defective_cache_reuses_pairs(self, nand2):
+        nmos = next(t for t in nand2.transistors if t.is_nmos and t.source == "VSS")
+        sim = CellSimulator(
+            nand2, SOI28.electrical, DefectEffect(removed=frozenset({nmos.name}))
+        )
+        from repro.camodel import stimuli
+
+        words = stimuli(2, "exhaustive")
+        for word in words:
+            sim.output_response(word)
+        first = sim.solve_count
+        for word in words:
+            sim.output_response(word)
+        assert sim.solve_count == first  # fully cached
+
+
+class TestDefectBehaviour:
+    def test_stuck_open_two_pattern_detection(self, nand2, nand2_sim):
+        nmos = next(t for t in nand2.transistors if t.is_nmos and t.source == "VSS")
+        defective = CellSimulator(
+            nand2, SOI28.electrical, DefectEffect(removed=frozenset({nmos.name}))
+        )
+        word = parse_word("R1")
+        assert str(nand2_sim.output_response(word)) == "F"
+        assert str(defective.output_response(word)) == "1"  # retained high
+
+    def test_stuck_open_static_gives_x(self, nand2):
+        nmos = next(t for t in nand2.transistors if t.is_nmos and t.source == "VSS")
+        defective = CellSimulator(
+            nand2, SOI28.electrical, DefectEffect(removed=frozenset({nmos.name}))
+        )
+        assert str(defective.output_response(parse_word("11"))) == "X"
+
+    def test_short_flips_static_output(self, nand2, nand2_sim):
+        pmos = next(t for t in nand2.transistors if t.is_pmos)
+        defective = CellSimulator(
+            nand2,
+            SOI28.electrical,
+            DefectEffect(
+                bridges=((pmos.drain, pmos.source, SOI28.electrical.short_resistance),)
+            ),
+        )
+        word = parse_word("11")
+        assert str(nand2_sim.output_response(word)) == "0"
+        assert str(defective.output_response(word)) == "1"
+
+    def test_benign_effect_equals_golden(self, nand2, nand2_sim):
+        same = CellSimulator(nand2, SOI28.electrical, DefectEffect())
+        for text in ("00", "11", "R1", "F0"):
+            word = parse_word(text)
+            assert same.output_response(word) is nand2_sim.output_response(word)
+
+
+class TestDriveResistance:
+    def test_golden_resistance_positive_finite(self, nand2_sim):
+        r = nand2_sim.output_drive_resistance(parse_word("1R"))
+        assert 0 < r < 1e9
+
+    def test_static_word_measures_holding_path(self, nand2_sim):
+        r = nand2_sim.output_drive_resistance(parse_word("11"))
+        assert 0 < r < 1e9
+
+    def test_floating_output_is_infinite(self, nand2):
+        nmos = next(t for t in nand2.transistors if t.is_nmos and t.source == "VSS")
+        defective = CellSimulator(
+            nand2, SOI28.electrical, DefectEffect(removed=frozenset({nmos.name}))
+        )
+        assert defective.output_drive_resistance(parse_word("11")) == float("inf")
+
+    def test_lost_finger_raises_resistance(self):
+        cell = build_cell(SOI28, "INV", 2)  # two parallel fingers
+        golden = golden_simulator(cell, SOI28.electrical)
+        nmos = next(t for t in cell.transistors if t.is_nmos)
+        defective = CellSimulator(
+            cell, SOI28.electrical, DefectEffect(removed=frozenset({nmos.name}))
+        )
+        word = parse_word("R")  # output falls through the NMOS side
+        r_gold = golden.output_drive_resistance(word)
+        r_def = defective.output_drive_resistance(word)
+        assert r_def == pytest.approx(2 * r_gold, rel=0.01)
+
+    def test_logic_value_unchanged_by_lost_finger(self):
+        cell = build_cell(SOI28, "INV", 2)
+        nmos = next(t for t in cell.transistors if t.is_nmos)
+        defective = CellSimulator(
+            cell, SOI28.electrical, DefectEffect(removed=frozenset({nmos.name}))
+        )
+        assert str(defective.output_response(parse_word("R"))) == "F"

@@ -1,0 +1,137 @@
+"""Unit tests for datasets and the paper's evaluation protocols."""
+
+import numpy as np
+import pytest
+
+from repro.camodel import generate_ca_model
+from repro.learning import (
+    CellSample,
+    build_samples,
+    cross_technology,
+    group_samples,
+    kind_row_mask,
+    leave_one_out,
+    sample_rows,
+    stack_group,
+)
+from repro.learning.evaluate import EvaluationReport, CellEvaluation
+from repro.library import SOI28, C40, build_cell
+
+
+@pytest.fixture(scope="module")
+def small_samples():
+    cells = [
+        build_cell(SOI28, fn, 1, flavor)
+        for fn in ("NAND2", "NOR2")
+        for flavor in SOI28.flavors
+    ]
+    return build_samples(
+        [(c, generate_ca_model(c, params=SOI28.electrical)) for c in cells],
+        SOI28.electrical,
+    )
+
+
+class TestDatasets:
+    def test_grouping(self, small_samples):
+        groups = group_samples(small_samples)
+        assert set(groups) == {(2, 4)}
+        assert len(groups[(2, 4)]) == 6
+
+    def test_kind_mask_keeps_free_rows(self, small_samples):
+        sample = small_samples[0]
+        mask = kind_row_mask(sample.matrix, {"open"})
+        from repro.camatrix import FREE_ROW
+
+        free = sample.matrix.row_defect == FREE_ROW
+        assert mask[free].all()
+
+    def test_kind_mask_filters_shorts(self, small_samples):
+        sample = small_samples[0]
+        X, y = sample_rows(sample, kinds={"open"})
+        X_all, _ = sample_rows(sample, kinds=None)
+        assert len(X) < len(X_all)
+
+    def test_subsampling(self, small_samples):
+        X, y = sample_rows(small_samples[0], max_rows=10)
+        assert len(X) == 10 and len(y) == 10
+
+    def test_stack_group(self, small_samples):
+        X, y = stack_group(small_samples[:2])
+        assert len(X) == sum(s.matrix.n_rows for s in small_samples[:2])
+
+    def test_stack_group_empty(self):
+        with pytest.raises(ValueError):
+            stack_group([])
+
+
+class TestLeaveOneOut:
+    def test_every_cell_evaluated(self, small_samples):
+        report = leave_one_out(small_samples, kinds={"open"})
+        assert len(report.evaluations) == len(small_samples)
+        assert not report.uncovered
+
+    def test_high_accuracy_on_flavor_variants(self, small_samples):
+        report = leave_one_out(small_samples, kinds={"open"})
+        assert report.mean_accuracy() > 0.99
+
+    def test_group_table_contents(self, small_samples):
+        report = leave_one_out(small_samples, kinds={"open"})
+        table = report.group_table()
+        assert (2, 4) in table
+        box = table[(2, 4)]
+        assert box["cells"] == 6
+        assert 0.9 < box["mean"] <= 1.0
+        assert box["max"] <= 1.0
+
+    def test_singleton_group_uncovered(self, small_samples):
+        lone = build_cell(SOI28, "AOI21", 1)
+        sample = build_samples(
+            [(lone, generate_ca_model(lone, params=SOI28.electrical))],
+            SOI28.electrical,
+        )
+        report = leave_one_out(small_samples + sample, kinds={"open"})
+        assert lone.name in report.uncovered
+
+    def test_fraction_above(self, small_samples):
+        report = leave_one_out(small_samples, kinds={"open"})
+        assert 0.0 <= report.accuracy_fraction_above(0.97) <= 1.0
+        assert report.accuracy_fraction_above(1.01) == 0.0
+
+
+class TestCrossTechnology:
+    def test_covered_and_uncovered(self, small_samples):
+        eval_cells = [build_cell(C40, "NAND2", 1), build_cell(C40, "XOR2", 1)]
+        eval_samples = build_samples(
+            [(c, generate_ca_model(c, params=C40.electrical)) for c in eval_cells],
+            C40.electrical,
+        )
+        report = cross_technology(small_samples, eval_samples, kinds={"open"})
+        names = {e.cell_name for e in report.evaluations}
+        assert "C40_NAND2X1" in names
+        assert "C40_XOR2X1" in report.uncovered  # no (2,12) training group
+
+    def test_cross_accuracy_high_for_shared_structure(self, small_samples):
+        eval_cells = [build_cell(C40, "NAND2", 1)]
+        eval_samples = build_samples(
+            [(c, generate_ca_model(c, params=C40.electrical)) for c in eval_cells],
+            C40.electrical,
+        )
+        report = cross_technology(small_samples, eval_samples, kinds={"open"})
+        assert report.evaluations[0].accuracy > 0.95
+
+
+class TestReportHelpers:
+    def test_empty_report(self):
+        report = EvaluationReport()
+        assert report.mean_accuracy() == 0.0
+        assert report.accuracy_fraction_above() == 0.0
+        assert report.group_table() == {}
+
+    def test_perfect_count(self):
+        report = EvaluationReport(
+            evaluations=[
+                CellEvaluation("a", (2, 4), 1.0, 10, 2),
+                CellEvaluation("b", (2, 4), 0.5, 10, 2),
+            ]
+        )
+        assert report.group_table()[(2, 4)]["perfect"] == 1

@@ -1,0 +1,45 @@
+"""The quick examples must run end to end (the slow cross-technology and
+hybrid walkthroughs are exercised by the benchmark harness instead)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "predicted CA model" in out
+        assert "agreement" in out
+
+    def test_conventional_flow(self):
+        out = _run("conventional_flow.py", "NAND2")
+        assert "equivalence" in out
+        assert "sequence-dependent defect" in out
+
+    def test_test_and_diagnose(self):
+        out = _run("test_and_diagnose.py")
+        assert "compacted" in out
+        assert "diagnosis" in out
+
+    def test_library_artifacts(self, tmp_path):
+        out = _run("library_artifacts.py", str(tmp_path))
+        assert "wrote" in out
+        assert (tmp_path / "soi28.lib").exists()
+        assert (tmp_path / "S28_NAND2X1.udfm").exists()
+        assert (tmp_path / "S28_NAND2X1_stuck_open.vcd").exists()

@@ -1,0 +1,77 @@
+"""Smoke tests for the experiment regenerators (tables and figures)."""
+
+import pytest
+
+from repro.experiments import (
+    fig4_partial_matrix,
+    fig5_branch_equations,
+    fig5_cell,
+    fig6_equivalence_demo,
+    format_accuracy_grid,
+    format_summary,
+    format_table,
+    table1_training_rows,
+    table2_activity,
+    table3_defect_columns,
+)
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(("a", "bb"), [(1, 2), (33, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "33" in text
+
+    def test_format_accuracy_grid(self):
+        table = {
+            (2, 4): {"mean": 0.999, "max": 1.0, "cells": 3, "perfect": 1},
+            (3, 6): {"mean": 0.95, "max": 0.96, "cells": 2, "perfect": 0},
+        }
+        grid = format_accuracy_grid(table, title="Table IV")
+        assert "99.90*" in grid  # perfect marker
+        assert "95.00" in grid and "95.00*" not in grid
+
+    def test_format_accuracy_grid_empty(self):
+        assert "(empty)" in format_accuracy_grid({})
+
+    def test_format_summary(self):
+        assert "metric" in format_summary({"x": 1})
+
+
+class TestSmallTables:
+    def test_table1(self):
+        text = table1_training_rows(limit=6)
+        assert "free" in text and "detect" in text
+
+    def test_table2_matches_paper(self):
+        text = table2_activity()
+        # the paper's activity values for NAND2: 3, 5, 10, 12
+        for value in ("3", "5", "10", "12"):
+            assert value in text
+        assert "N0" in text and "P1" in text
+
+    def test_table3(self):
+        text = table3_defect_columns()
+        assert "source-drain short on P1" in text
+        assert "net0 & P0-source short" in text
+
+    def test_fig4(self):
+        text = fig4_partial_matrix()
+        assert "RESP" in text and "stimulus" in text
+
+    def test_fig5_reproduces_paper_equation(self):
+        cell = fig5_cell()
+        assert cell.n_inputs == 4
+        text = fig5_branch_equations()
+        # the output inverter branch
+        assert "(1n|1p)" in text
+        # the paper's NMOS network contributes ((1n|1n)&1n)|1n
+        assert "((1n|1n)&1n)" in text
+
+    def test_fig6(self):
+        text = fig6_equivalence_demo()
+        assert "merged" in text and "split" in text
+        lines = [l for l in text.splitlines() if l.startswith(("soi28", "c40"))]
+        collapsed = {l.split()[-1] for l in lines}
+        assert len(collapsed) == 1  # both collapse to the same form

@@ -1,0 +1,114 @@
+"""Tests for the UDFM and Liberty exporters."""
+
+import pytest
+
+from repro.camodel.udfm import parse_udfm, save_udfm, to_udfm
+from repro.library import SOI28, build_library, build_cell
+from repro.library.liberty import cell_to_liberty, library_to_liberty, save_liberty
+from repro.logic import parse_expr, truth_table
+
+
+class TestUDFM:
+    def test_structure(self, nand2_model):
+        text = to_udfm(nand2_model)
+        assert text.startswith("UDFM {")
+        assert f'cell("{nand2_model.cell_name}")' in text
+        assert "fault(" in text and "test {" in text
+
+    def test_static_and_transition_tests(self, nand2_model):
+        text = to_udfm(nand2_model)
+        assert "statics:" in text
+        assert "transitions:" in text
+
+    def test_max_tests_cap(self, nand2_model):
+        capped = to_udfm(nand2_model, max_tests_per_fault=1)
+        parsed = parse_udfm(capped)
+        for fault, tests in parsed[nand2_model.cell_name].items():
+            assert len(tests) <= 1
+
+    def test_parse_roundtrip_consistency(self, nand2_model):
+        parsed = parse_udfm(to_udfm(nand2_model, max_tests_per_fault=100))
+        faults = parsed[nand2_model.cell_name]
+        classes = {c.representative: c for c in nand2_model.equivalence()}
+        # every detectable class appears with its detecting-stimuli count
+        for representative, eq_class in classes.items():
+            n_detecting = sum(eq_class.detection)
+            if n_detecting:
+                assert len(faults[representative]) == n_detecting
+            else:
+                assert representative not in faults
+
+    def test_test_conditions_detect(self, nand2, nand2_model):
+        """Every exported test condition must actually detect its fault."""
+        from repro.camodel import detect
+        from repro.logic import V4
+        from repro.simulation import CellSimulator
+
+        parsed = parse_udfm(to_udfm(nand2_model, max_tests_per_fault=2))
+        faults = parsed[nand2_model.cell_name]
+        word_index = {
+            tuple(w): i for i, w in enumerate(nand2_model.stimuli)
+        }
+        for fault, tests in list(faults.items())[:6]:
+            defect = nand2_model.defects[nand2_model.defect_index(fault)]
+            for conditions in tests:
+                word = tuple(
+                    V4.from_string(conditions[pin]) for pin in nand2_model.inputs
+                )
+                index = word_index[word]
+                assert nand2_model.detection[
+                    nand2_model.defect_index(fault), index
+                ] == 1
+
+    def test_include_undetected(self, nand2_model):
+        without = parse_udfm(to_udfm(nand2_model))
+        with_undetected = parse_udfm(to_udfm(nand2_model, include_undetected=True))
+        assert len(with_undetected[nand2_model.cell_name]) > len(
+            without[nand2_model.cell_name]
+        )
+
+    def test_save(self, nand2_model, tmp_path):
+        path = save_udfm(nand2_model, tmp_path / "m.udfm")
+        assert path.read_text().startswith("UDFM")
+
+
+class TestLiberty:
+    @pytest.fixture(scope="class")
+    def library(self):
+        return build_library(
+            SOI28, functions=("INV", "NAND2", "AOI21", "HA1"), drives=(1,),
+            flavors=SOI28.flavors[:1],
+        )
+
+    def test_library_structure(self, library):
+        text = library_to_liberty(library)
+        assert text.startswith('library ("soi28_func") {')
+        assert text.count("cell (") == len(library)
+        assert text.strip().endswith("}")
+
+    def test_pin_directions(self, library):
+        text = cell_to_liberty(library.cell("S28_NAND2X1"))
+        assert text.count("direction : input;") == 2
+        assert text.count("direction : output;") == 1
+
+    def test_function_attribute_consistent(self, library):
+        """The Liberty function must equal the catalog truth table."""
+        cell = library.cell("S28_AOI21X1")
+        text = cell_to_liberty(cell)
+        func_line = next(l for l in text.splitlines() if "function" in l)
+        liberty_expr = func_line.split('"')[1]
+        from repro.library.catalog import get as get_function
+
+        reference = get_function("AOI21").expr(cell.inputs)
+        assert truth_table(parse_expr(liberty_expr), cell.inputs) == truth_table(
+            reference, cell.inputs
+        )
+
+    def test_multi_output_cell(self, library):
+        text = cell_to_liberty(library.cell("S28_HA1X1"))
+        assert text.count("direction : output;") == 2
+        assert text.count("function :") == 2
+
+    def test_save(self, library, tmp_path):
+        path = save_liberty(library, tmp_path / "lib.lib")
+        assert path.exists()

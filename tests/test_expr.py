@@ -1,0 +1,89 @@
+"""Unit tests for the Boolean expression AST and parser."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    Const,
+    ExprSyntaxError,
+    Not,
+    Or,
+    Var,
+    Xor,
+    assignments,
+    parse_expr,
+    truth_table,
+)
+
+
+class TestEvaluation:
+    def test_var_and_const(self):
+        assert Var("A").evaluate({"A": 1}) == 1
+        assert Const(0).evaluate({}) == 0
+
+    def test_gates(self):
+        env = {"A": 1, "B": 0}
+        assert And(Var("A"), Var("B")).evaluate(env) == 0
+        assert Or(Var("A"), Var("B")).evaluate(env) == 1
+        assert Xor(Var("A"), Var("B")).evaluate(env) == 1
+        assert Not(Var("B")).evaluate(env) == 1
+
+    def test_nary(self):
+        env = {"A": 1, "B": 1, "C": 0}
+        assert And(Var("A"), Var("B"), Var("C")).evaluate(env) == 0
+        assert Or(Var("A"), Var("B"), Var("C")).evaluate(env) == 1
+        assert Xor(Var("A"), Var("B"), Var("C")).evaluate(env) == 0
+
+    def test_operator_sugar(self):
+        expr = (Var("A") & Var("B")) | ~Var("C")
+        assert expr.evaluate({"A": 1, "B": 1, "C": 1}) == 1
+        assert expr.evaluate({"A": 0, "B": 1, "C": 1}) == 0
+
+    def test_variables(self):
+        expr = parse_expr("(A&B)|!C")
+        assert expr.variables() == frozenset({"A", "B", "C"})
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,env,expected",
+        [
+            ("A&B", {"A": 1, "B": 1}, 1),
+            ("A|B&C", {"A": 0, "B": 1, "C": 1}, 1),  # & binds tighter
+            ("(A|B)&C", {"A": 1, "B": 0, "C": 0}, 0),
+            ("!A", {"A": 0}, 1),
+            ("!!A", {"A": 1}, 1),
+            ("A^B^C", {"A": 1, "B": 1, "C": 1}, 1),
+            ("1&A", {"A": 1}, 1),
+            ("0|A", {"A": 0}, 0),
+        ],
+    )
+    def test_parse_and_evaluate(self, text, env, expected):
+        assert parse_expr(text).evaluate(env) == expected
+
+    @pytest.mark.parametrize("bad", ["A&", "(A", "A B", "&A", "A!B", ""])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ExprSyntaxError):
+            parse_expr(bad)
+
+    def test_precedence_xor_between_or_and_and(self):
+        # or is loosest: A | B ^ C == A | (B ^ C)
+        expr = parse_expr("A|B^C")
+        assert expr.evaluate({"A": 0, "B": 1, "C": 1}) == 0
+
+
+class TestTruthTable:
+    def test_nand2(self):
+        expr = parse_expr("!(A&B)")
+        assert truth_table(expr, ["A", "B"]) == (1, 1, 1, 0)
+
+    def test_msb_is_first_input(self):
+        expr = parse_expr("A")
+        # A is the MSB: rows 00,01,10,11 -> A = 0,0,1,1
+        assert truth_table(expr, ["A", "B"]) == (0, 0, 1, 1)
+
+    def test_assignments_order(self):
+        out = list(assignments(["A", "B"]))
+        assert out[0] == {"A": 0, "B": 0}
+        assert out[-1] == {"A": 1, "B": 1}
+        assert len(out) == 4

@@ -1,0 +1,175 @@
+"""Unit tests for structural analysis, cost model and the hybrid flow."""
+
+import pytest
+
+from repro.camatrix import rename_transistors
+from repro.camodel import generate_ca_model
+from repro.flow import (
+    CostModel,
+    EQUIVALENT,
+    GenerationLedger,
+    HybridFlow,
+    IDENTICAL,
+    NONE,
+    StructuralIndex,
+    collapse_parallel_duplicates,
+    equivalent_signature,
+    exact_signature,
+)
+from repro.learning import build_samples
+from repro.library import C28, C40, SOI28, build_cell
+
+
+@pytest.fixture(scope="module")
+def train_samples():
+    cells = [
+        build_cell(SOI28, fn, drive, flavor)
+        for fn in ("NAND2", "NOR2")
+        for drive in (1, 2)
+        for flavor in SOI28.flavors[:2]
+    ]
+    return build_samples(
+        [(c, generate_ca_model(c, params=SOI28.electrical)) for c in cells],
+        SOI28.electrical,
+    )
+
+
+class TestCollapse:
+    def test_merged_and_split_coincide(self):
+        merged = rename_transistors(build_cell(SOI28, "NAND2", 2), SOI28.electrical)
+        split = rename_transistors(build_cell(C40, "NAND2", 2), C40.electrical)
+        assert exact_signature(merged) != exact_signature(split)
+        assert equivalent_signature(merged) == equivalent_signature(split)
+
+    def test_collapse_is_idempotent(self):
+        renamed = rename_transistors(build_cell(SOI28, "AOI22", 4), SOI28.electrical)
+        once = collapse_parallel_duplicates(renamed.branches[0].equation)
+        twice = collapse_parallel_duplicates(once)
+        assert once.anon() == twice.anon()
+
+    def test_x1_unchanged_by_collapse(self):
+        renamed = rename_transistors(build_cell(SOI28, "AOI21", 1), SOI28.electrical)
+        collapsed = collapse_parallel_duplicates(renamed.branches[0].equation)
+        # AOI21 X1 has two parallel PMOS in series-dual -> still collapses
+        # nothing structural away beyond duplicate '1p' leaves
+        assert "1n" in collapsed.anon()
+
+
+class TestStructuralIndex:
+    def test_identical_match(self, train_samples):
+        index = StructuralIndex()
+        index.add_all(s.matrix.renamed for s in train_samples)
+        same = rename_transistors(build_cell(C28, "NAND2", 1), C28.electrical)
+        assert index.match(same) == IDENTICAL
+
+    def test_equivalent_match(self, train_samples):
+        index = StructuralIndex()
+        index.add_all(s.matrix.renamed for s in train_samples)
+        split_x2 = rename_transistors(build_cell(C40, "NAND2", 2), C40.electrical)
+        assert index.match(split_x2) == EQUIVALENT
+
+    def test_none_match(self, train_samples):
+        index = StructuralIndex()
+        index.add_all(s.matrix.renamed for s in train_samples)
+        alien = rename_transistors(build_cell(C28, "MAJI3", 1), C28.electrical)
+        assert index.match(alien) == NONE
+
+    def test_stage_order_not_aliased(self):
+        # regression: AND2 (INV driving output, NAND behind) must not be
+        # "equivalent" to NAND2B (NAND driving output, INV behind); the
+        # collapsed equation *sets* coincide but the levels differ
+        index = StructuralIndex()
+        index.add(rename_transistors(build_cell(SOI28, "AND2", 1), SOI28.electrical))
+        b_gate = rename_transistors(build_cell(C40, "NAND2B", 1), C40.electrical)
+        assert index.match(b_gate) == NONE
+
+    def test_group_key_guard(self, train_samples):
+        # identical collapsed equation but different transistor count must
+        # not be treated as equivalent (different group)
+        index = StructuralIndex()
+        index.add_all(s.matrix.renamed for s in train_samples)
+        x4 = rename_transistors(build_cell(SOI28, "NAND2", 4), SOI28.electrical)
+        assert index.match(x4) == NONE
+
+
+class TestCostModel:
+    def test_simulation_count(self, nand2):
+        cost = CostModel()
+        # (1 golden + 40 defects) * 16 exhaustive stimuli
+        assert cost.cell_simulation_count(nand2) == 41 * 16
+
+    def test_spice_seconds_scale(self, nand2):
+        assert CostModel(seconds_per_spice_simulation=2.0).spice_seconds(
+            nand2
+        ) == pytest.approx(2.0 * 41 * 16)
+
+    def test_ledger_reductions(self):
+        ledger = GenerationLedger()
+        ledger.record_simulated(1000.0)
+        ledger.record_predicted(ml_seconds=10.0, avoided_spice_seconds=1000.0)
+        assert ledger.ml_side_reduction == pytest.approx(0.99)
+        assert ledger.total_reduction == pytest.approx(1 - 1010 / 2000)
+
+    def test_ledger_empty(self):
+        ledger = GenerationLedger()
+        assert ledger.ml_side_reduction == 0.0
+        assert ledger.total_reduction == 0.0
+
+    def test_summary_keys(self):
+        ledger = GenerationLedger()
+        ledger.record_simulated(100.0)
+        summary = ledger.summary()
+        for key in ("spice_days", "ml_hours", "total_reduction"):
+            assert key in summary
+
+
+class TestHybridFlow:
+    def test_routing(self, train_samples):
+        flow = HybridFlow(train_samples, params=C40.electrical)
+        identical = build_cell(C40, "NAND2", 1)
+        equivalent = build_cell(C40, "NAND2", 2)
+        alien = build_cell(C40, "XOR2", 1)
+        report = flow.run([identical, equivalent, alien])
+        routes = {d.cell_name: (d.match, d.route) for d in report.decisions}
+        assert routes["C40_NAND2X1"] == (IDENTICAL, "ml")
+        assert routes["C40_NAND2X2"] == (EQUIVALENT, "ml")
+        assert routes["C40_XOR2X1"] == (NONE, "simulate")
+
+    def test_ml_path_produces_model(self, train_samples):
+        flow = HybridFlow(train_samples, params=C40.electrical)
+        cell = build_cell(C40, "NAND2", 1)
+        decision = flow.generate(cell)
+        assert decision.model is not None
+        assert decision.model.cell_name == cell.name
+        assert decision.model.detection.shape[0] == 40
+
+    def test_ml_accuracy_against_reference(self, train_samples):
+        flow = HybridFlow(train_samples, params=C40.electrical)
+        cell = build_cell(C40, "NAND2", 1)
+        reference = generate_ca_model(cell, params=C40.electrical)
+        decision = flow.generate(cell, reference=reference)
+        assert decision.accuracy is not None and decision.accuracy > 0.9
+
+    def test_feedback_enables_future_match(self, train_samples):
+        flow = HybridFlow(train_samples, params=C28.electrical)
+        first = build_cell(C28, "MAJI3", 1)
+        second = build_cell(C28, "MAJI3", 1, C28.flavors[1])
+        report = flow.run([first, second])
+        assert report.decisions[0].route == "simulate"
+        assert report.decisions[1].route == "ml"  # learned from feedback
+
+    def test_ledger_populated(self, train_samples):
+        flow = HybridFlow(train_samples, params=C40.electrical)
+        report = flow.run([build_cell(C40, "NAND2", 1), build_cell(C40, "XOR2", 1)])
+        assert report.ledger.n_predicted == 1
+        assert report.ledger.n_simulated == 1
+        assert report.ledger.avoided_spice_seconds > 0
+        assert 0 < report.ledger.ml_side_reduction <= 1
+
+    def test_fractions_and_summary(self, train_samples):
+        flow = HybridFlow(train_samples, params=C40.electrical)
+        report = flow.run([build_cell(C40, "NAND2", 1)])
+        fractions = report.fractions()
+        assert fractions[IDENTICAL] == 1.0
+        summary = report.summary()
+        assert summary["cells"] == 1

@@ -1,0 +1,85 @@
+"""Unit tests for the four-valued algebra."""
+
+import pytest
+
+from repro.logic import (
+    V4,
+    V4_CODE,
+    final_phase,
+    initial_phase,
+    is_static_word,
+    parse_word,
+    word_from_phases,
+    word_to_string,
+)
+
+
+class TestSymbols:
+    def test_static_classification(self):
+        assert V4.ZERO.is_static and V4.ONE.is_static
+        assert not V4.RISE.is_static and not V4.FALL.is_static
+        assert not V4.X.is_static
+
+    def test_dynamic_classification(self):
+        assert V4.RISE.is_dynamic and V4.FALL.is_dynamic
+        assert not V4.ZERO.is_dynamic and not V4.X.is_dynamic
+
+    def test_known(self):
+        assert all(v.is_known for v in (V4.ZERO, V4.ONE, V4.RISE, V4.FALL))
+        assert not V4.X.is_known
+
+    def test_phases(self):
+        assert (V4.RISE.initial, V4.RISE.final) == (0, 1)
+        assert (V4.FALL.initial, V4.FALL.final) == (1, 0)
+        assert (V4.ZERO.initial, V4.ZERO.final) == (0, 0)
+        assert (V4.X.initial, V4.X.final) == (-1, -1)
+
+    def test_from_phases_roundtrip(self):
+        for v in (V4.ZERO, V4.ONE, V4.RISE, V4.FALL):
+            assert V4.from_phases(v.initial, v.final) is v
+
+    def test_from_phases_unknown(self):
+        assert V4.from_phases(-1, 1) is V4.X
+        assert V4.from_phases(0, -1) is V4.X
+
+    def test_inversion(self):
+        assert V4.RISE.inverted is V4.FALL
+        assert V4.FALL.inverted is V4.RISE
+        assert V4.ZERO.inverted is V4.ONE
+        assert V4.X.inverted is V4.X
+
+    def test_double_inversion_is_identity(self):
+        for v in V4:
+            assert v.inverted.inverted is v
+
+    def test_from_string(self):
+        assert V4.from_string("r") is V4.RISE
+        assert V4.from_string("0") is V4.ZERO
+        with pytest.raises(ValueError):
+            V4.from_string("q")
+
+    def test_codes_distinct(self):
+        assert len(set(V4_CODE.values())) == len(V4_CODE)
+
+
+class TestWords:
+    def test_parse_roundtrip(self):
+        word = parse_word("0R1F")
+        assert word_to_string(word) == "0R1F"
+
+    def test_static_word(self):
+        assert is_static_word(parse_word("0101"))
+        assert not is_static_word(parse_word("01R1"))
+
+    def test_phase_projection(self):
+        word = parse_word("RF01")
+        assert initial_phase(word) == (0, 1, 0, 1)
+        assert final_phase(word) == (1, 0, 0, 1)
+
+    def test_word_from_phases(self):
+        word = word_from_phases((0, 1, 0), (1, 1, 0))
+        assert word_to_string(word) == "R10"
+
+    def test_word_from_phases_length_mismatch(self):
+        with pytest.raises(ValueError):
+            word_from_phases((0, 1), (1,))

@@ -1,0 +1,129 @@
+"""Integration tests: the full pipeline across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.camatrix import inference_matrix, training_matrix
+from repro.camodel import generate_ca_model, load_model, save_model
+from repro.learning import (
+    RandomForestClassifier,
+    accuracy_score,
+    build_samples,
+    leave_one_out,
+    sample_rows,
+    stack_group,
+)
+from repro.library import C28, C40, SOI28, build_cell
+from repro.spice import parse_cell, write_cell
+
+
+class TestTextToPrediction:
+    """SPICE text in -> predicted CA model out, across dialects."""
+
+    def test_foreign_netlist_predicted_from_builder_cells(self):
+        # train on builder-produced soi28 NAND2 flavors
+        train_cells = [build_cell(SOI28, "NAND2", 1, f) for f in SOI28.flavors]
+        samples = build_samples(
+            [(c, generate_ca_model(c, params=SOI28.electrical)) for c in train_cells],
+            SOI28.electrical,
+        )
+        X, y = stack_group(samples)
+        clf = RandomForestClassifier(n_estimators=8, max_features=0.5, random_state=0)
+        clf.fit(X, y)
+
+        # round-trip a c28 NAND2 through its SPICE dialect text
+        c28_cell = build_cell(C28, "NAND2", 1)
+        text = write_cell(c28_cell, C28.dialect)
+        parsed = parse_cell(text, technology="c28")
+        matrix = inference_matrix(parsed, C28.electrical)
+        predicted = clf.predict(matrix.features)
+        model = matrix.to_model(predicted)
+
+        reference = generate_ca_model(c28_cell, params=C28.electrical)
+        ref_matrix = training_matrix(c28_cell, reference, C28.electrical)
+        # align rows by (defect, stimulus) since enumeration matches
+        assert model.detection.shape == reference.detection.shape
+        agreement = (model.detection == reference.detection).mean()
+        assert agreement > 0.95
+
+    def test_predicted_model_persists(self, tmp_path, nand2, nand2_model):
+        matrix = training_matrix(nand2, nand2_model, SOI28.electrical)
+        clf = RandomForestClassifier(n_estimators=4, max_features=0.5, random_state=1)
+        clf.fit(matrix.features, matrix.labels)
+        model = matrix.to_model(clf.predict(matrix.features))
+        path = save_model(model, tmp_path / "predicted.json")
+        back = load_model(path)
+        assert (back.detection == model.detection).all()
+
+
+class TestSelfPrediction:
+    def test_forest_reproduces_own_training_model(self, nand2, nand2_model):
+        # bootstrap off: on small noise-free data every row must be seen,
+        # otherwise unsampled rare rows lose the vote
+        matrix = training_matrix(nand2, nand2_model, SOI28.electrical)
+        clf = RandomForestClassifier(
+            n_estimators=8, max_features=0.5, bootstrap=False, random_state=0
+        )
+        clf.fit(matrix.features, matrix.labels)
+        assert accuracy_score(matrix.labels, clf.predict(matrix.features)) == 1.0
+
+
+class TestMiniTable4:
+    @pytest.fixture(scope="class")
+    def soi28_samples(self):
+        cells = [
+            build_cell(SOI28, fn, 1, flavor)
+            for fn in ("NAND2", "NOR2", "AND2", "OR2")
+            for flavor in SOI28.flavors
+        ]
+        return build_samples(
+            [(c, generate_ca_model(c, params=SOI28.electrical)) for c in cells],
+            SOI28.electrical,
+        )
+
+    def test_same_technology_high_accuracy(self, soi28_samples):
+        report = leave_one_out(soi28_samples, kinds={"open"})
+        assert report.mean_accuracy() > 0.98
+        table = report.group_table()
+        assert any(box["perfect"] > 0 for box in table.values())
+
+    def test_cross_technology_shapes(self, soi28_samples):
+        from repro.learning import cross_technology
+
+        eval_cells = [
+            build_cell(C40, "NAND2", 1),
+            build_cell(C40, "AND2", 1),
+            build_cell(C28, "NAND2", 1),
+        ]
+        for cell in eval_cells:
+            tech = C40 if cell.technology == "c40" else C28
+            eval_samples = build_samples(
+                [(cell, generate_ca_model(cell, params=tech.electrical))],
+                tech.electrical,
+            )
+            report = cross_technology(soi28_samples, eval_samples, kinds={"open"})
+            assert report.evaluations[0].accuracy > 0.95
+
+
+class TestShortsVsOpens:
+    def test_short_prediction_with_structural_support(self):
+        # shorts transfer when the group holds a same-structure cell
+        cells = [build_cell(SOI28, "NAND2", 1, f) for f in SOI28.flavors]
+        samples = build_samples(
+            [(c, generate_ca_model(c, params=SOI28.electrical)) for c in cells],
+            SOI28.electrical,
+        )
+        report = leave_one_out(samples, kinds={"short"})
+        # a few short labels genuinely flip between sizing flavors (the
+        # paper's "slight differences" across test conditions), so the
+        # ceiling sits just below 100 %
+        assert report.mean_accuracy() > 0.97
+
+    def test_short_prediction_without_support_degrades(self, nand2, nand2_model, nor2, nor2_model):
+        # the paper's "new transistor configuration" failure mode: a NOR2
+        # cannot teach a NAND2 its short behaviour
+        samples = build_samples(
+            [(nand2, nand2_model), (nor2, nor2_model)], SOI28.electrical
+        )
+        report = leave_one_out(samples, kinds={"short"})
+        assert report.mean_accuracy() < 0.9

@@ -1,0 +1,174 @@
+"""Unit tests for CA-matrix assembly and the pipeline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.camatrix import (
+    FREE_ROW,
+    build_matrix,
+    canonical_pin_order,
+    encode_activity,
+    encode_symbol,
+    group_matrices,
+    inference_matrix,
+    matrix_columns,
+    pin_signature,
+    reorder_word,
+    stack,
+    training_matrix,
+)
+from repro.camatrix.activity import activity_values
+from repro.camatrix.branches import extract_branches
+from repro.library import SOI28, C40, build_cell
+from repro.logic import V4, parse_word
+
+
+class TestEncoding:
+    def test_symbol_codes(self):
+        assert encode_symbol(V4.ZERO) == 0
+        assert encode_symbol(V4.ONE) == 1
+        assert encode_symbol(V4.RISE) == 2
+        assert encode_symbol(V4.FALL) == 3
+        assert encode_symbol(V4.X) == -128
+
+    def test_activity_pmos_marked_negative(self):
+        assert encode_activity(V4.ONE, is_nmos=True) == 1
+        assert encode_activity(V4.ONE, is_nmos=False) == -2
+        assert encode_activity(V4.ZERO, is_nmos=False) == -1
+
+    def test_activity_codes_disjoint(self):
+        nmos = {encode_activity(v, True) for v in (V4.ZERO, V4.ONE, V4.RISE, V4.FALL)}
+        pmos = {encode_activity(v, False) for v in (V4.ZERO, V4.ONE, V4.RISE, V4.FALL)}
+        assert nmos.isdisjoint(pmos)
+
+
+class TestColumns:
+    def test_layout(self):
+        cols = matrix_columns(2, ["N0", "P0"], structural_features=False)
+        assert cols == [
+            "IN0", "IN1", "RESP", "N0", "P0",
+            "N0_D", "N0_G", "N0_S", "N0_B",
+            "P0_D", "P0_G", "P0_S", "P0_B",
+        ]
+
+    def test_structural_layout(self):
+        cols = matrix_columns(1, ["N0"], structural_features=True)
+        assert "N0_LVL" in cols and "N0_SD" in cols and "N0_PW" in cols
+
+
+class TestBuildMatrix:
+    def test_training_shape(self, nand2, nand2_model):
+        m = training_matrix(nand2, nand2_model, SOI28.electrical)
+        expected_rows = (nand2_model.n_defects + 1) * nand2_model.n_stimuli
+        assert m.features.shape == (expected_rows, len(m.columns))
+        assert m.labels.shape == (expected_rows,)
+        assert m.features.dtype == np.int8
+
+    def test_free_rows_unlabelled_zero(self, nand2, nand2_model):
+        m = training_matrix(nand2, nand2_model, SOI28.electrical)
+        free = m.row_defect == FREE_ROW
+        assert free.sum() == nand2_model.n_stimuli
+        assert (m.labels[free] == 0).all()
+        defect_cols = [i for i, c in enumerate(m.columns) if c.endswith(("_D", "_G", "_S", "_B"))]
+        assert (m.features[np.ix_(free, defect_cols)] == 0).all()
+
+    def test_no_free_rows_option(self, nand2, nand2_model):
+        m = build_matrix(nand2, model=nand2_model, params=SOI28.electrical,
+                         include_free_rows=False)
+        assert (m.row_defect != FREE_ROW).all()
+
+    def test_labels_match_detection(self, nand2, nand2_model):
+        m = training_matrix(nand2, nand2_model, SOI28.electrical)
+        for row in range(0, m.n_rows, 7):
+            d, s = m.row_defect[row], m.row_stimulus[row]
+            if d != FREE_ROW:
+                assert m.labels[row] == nand2_model.detection[d, s]
+
+    def test_inference_unlabelled(self, nand2):
+        m = inference_matrix(nand2, SOI28.electrical)
+        assert m.labels is None
+        assert m.n_rows > 0
+
+    def test_to_model_roundtrip(self, nand2, nand2_model):
+        m = training_matrix(nand2, nand2_model, SOI28.electrical)
+        rebuilt = m.to_model()
+        assert (rebuilt.detection == nand2_model.detection).all()
+        assert rebuilt.golden == nand2_model.golden
+
+    def test_to_model_needs_labels(self, nand2):
+        m = inference_matrix(nand2, SOI28.electrical)
+        with pytest.raises(ValueError):
+            m.to_model()
+
+    def test_to_model_with_predictions(self, nand2, nand2_model):
+        m = training_matrix(nand2, nand2_model, SOI28.electrical)
+        zeros = np.zeros(m.n_rows, dtype=np.int8)
+        model = m.to_model(zeros)
+        assert model.detection.sum() == 0
+
+    def test_cross_tech_same_feature_content(self, nand2, nand2_model, nand2_c40):
+        from repro.camodel import generate_ca_model
+
+        model40 = generate_ca_model(nand2_c40, params=C40.electrical)
+        a = training_matrix(nand2, nand2_model, SOI28.electrical)
+        b = training_matrix(nand2_c40, model40, C40.electrical)
+        assert a.columns == b.columns
+        rows_a = sorted(map(tuple, a.features.tolist()))
+        rows_b = sorted(map(tuple, b.features.tolist()))
+        assert rows_a == rows_b
+
+    def test_structural_flag_changes_width(self, nand2, nand2_model):
+        full = build_matrix(nand2, model=nand2_model, params=SOI28.electrical)
+        bare = build_matrix(nand2, model=nand2_model, params=SOI28.electrical,
+                            structural_features=False)
+        assert full.n_features == bare.n_features + 3 * nand2.n_transistors
+
+
+class TestPipeline:
+    def test_group_matrices(self, nand2, nand2_model, nor2, nor2_model):
+        a = training_matrix(nand2, nand2_model, SOI28.electrical)
+        b = training_matrix(nor2, nor2_model, SOI28.electrical)
+        groups = group_matrices([a, b])
+        assert groups == {(2, 4): [a, b]}
+
+    def test_stack(self, nand2, nand2_model, nor2, nor2_model):
+        a = training_matrix(nand2, nand2_model, SOI28.electrical)
+        b = training_matrix(nor2, nor2_model, SOI28.electrical)
+        X, y = stack([a, b])
+        assert len(X) == a.n_rows + b.n_rows
+        assert len(y) == len(X)
+
+    def test_stack_rejects_mixed_groups(self, nand2, nand2_model, aoi21, aoi21_model):
+        a = training_matrix(nand2, nand2_model, SOI28.electrical)
+        b = training_matrix(aoi21, aoi21_model, SOI28.electrical)
+        with pytest.raises(ValueError):
+            stack([a, b])
+
+    def test_stack_rejects_unlabelled(self, nand2):
+        m = inference_matrix(nand2, SOI28.electrical)
+        with pytest.raises(ValueError):
+            stack([m])
+
+    def test_stack_empty(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+
+class TestPins:
+    def test_reorder_word(self):
+        word = parse_word("RF")
+        assert reorder_word(word, ["A", "B"], ["B", "A"]) == tuple(parse_word("FR"))
+
+    def test_canonical_order_stable_for_symmetric_pins(self, nand2):
+        activity = {t.name: 0 for t in nand2.transistors}
+        branches = extract_branches(nand2, activity)
+        assert canonical_pin_order(nand2, branches) == nand2.inputs
+
+    def test_signature_separates_roles(self, aoi21):
+        activity = {t.name: 0 for t in aoi21.transistors}
+        branches = extract_branches(aoi21, activity)
+        # AOI21: A and B are the AND pair, C is the lone parallel input
+        sig_a = pin_signature(aoi21.inputs[0], aoi21, branches)
+        sig_c = pin_signature(aoi21.inputs[2], aoi21, branches)
+        assert sig_a == pin_signature(aoi21.inputs[1], aoi21, branches)
+        assert sig_a == sig_c  # same branch -> same coarse signature

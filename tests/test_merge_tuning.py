@@ -1,0 +1,86 @@
+"""Tests for per-output model merging and hyper-parameter tuning."""
+
+import numpy as np
+import pytest
+
+from repro.camodel import generate_multi
+from repro.camodel.merge import MergeError, merge_models
+from repro.learning.tuning import TuningResult, grid_search
+from repro.library import SOI28, build_cell
+
+
+@pytest.fixture(scope="module")
+def ha1_models():
+    cell = build_cell(SOI28, "HA1", 1)
+    return cell, generate_multi(cell, SOI28.electrical, policy="static")
+
+
+class TestMerge:
+    def test_union_dominates(self, ha1_models):
+        _cell, models = ha1_models
+        merged = merge_models(models)
+        for port, table in merged.per_output.items():
+            assert (merged.detection >= table).all()
+        for model in models.values():
+            assert merged.coverage() >= model.coverage()
+
+    def test_observing_outputs(self, ha1_models):
+        _cell, models = ha1_models
+        merged = merge_models(models)
+        seen_ports = set()
+        for name in merged.defect_names:
+            seen_ports.update(merged.observing_outputs(name))
+        assert seen_ports == {"Z", "CO"}
+
+    def test_exclusive_defects_exist(self, ha1_models):
+        """The carry chain has defects only the CO output exposes —
+        the whole reason per-output characterization is mandatory."""
+        _cell, models = ha1_models
+        merged = merge_models(models)
+        assert merged.exclusive_defects("CO")
+        assert merged.exclusive_defects("Z")
+
+    def test_mismatched_universe_rejected(self, ha1_models, nand2_model):
+        _cell, models = ha1_models
+        with pytest.raises(MergeError):
+            merge_models({"Z": models["Z"], "CO": nand2_model})
+
+    def test_empty_rejected(self):
+        with pytest.raises(MergeError):
+            merge_models({})
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        from repro.camodel import generate_ca_model
+        from repro.learning import build_samples
+
+        cells = [build_cell(SOI28, "NAND2", 1, f) for f in SOI28.flavors]
+        return build_samples(
+            [(c, generate_ca_model(c, params=SOI28.electrical)) for c in cells],
+            SOI28.electrical,
+        )
+
+    def test_ranking_sorted(self, samples):
+        result = grid_search(
+            samples,
+            grid={"n_estimators": [2, 6], "max_features": ["sqrt", 0.5]},
+        )
+        scores = [score for _p, score in result.ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert len(result.ranking) == 4
+
+    def test_best_params_reasonable(self, samples):
+        result = grid_search(
+            samples,
+            grid={"max_features": ["sqrt", 0.5]},
+            base_params={"n_estimators": 6},
+        )
+        assert result.best_score > 0.95
+        # the large feature fraction should win on this near-noiseless task
+        assert result.best_params["max_features"] == 0.5
+
+    def test_empty_result_raises(self):
+        with pytest.raises(ValueError):
+            TuningResult().best_params

@@ -1,0 +1,75 @@
+"""Tests for multi-output cells (half/full adders) and per-output CA."""
+
+import numpy as np
+import pytest
+
+from repro.camodel import generate_ca_model, generate_multi
+from repro.library import SOI28, build_cell
+from repro.library.catalog import CATALOG
+from repro.simulation import golden_simulator, logic_check
+from repro.logic import parse_word
+
+
+@pytest.fixture(scope="module")
+def ha1():
+    return build_cell(SOI28, "HA1", 1)
+
+
+class TestAdderCells:
+    @pytest.mark.parametrize("name", ["HA1", "FA1"])
+    def test_all_outputs_implement_formulas(self, name):
+        cell = build_cell(SOI28, name, 1)
+        for port, expr in CATALOG[name].exprs(cell.inputs).items():
+            assert not logic_check(cell, expr, SOI28.electrical, output=port)
+
+    def test_ha1_ports(self, ha1):
+        assert ha1.outputs == ["Z", "CO"]
+        assert ha1.n_inputs == 2
+
+    def test_output_response_per_port(self, ha1):
+        sim = golden_simulator(ha1, SOI28.electrical)
+        word = parse_word("11")
+        assert str(sim.output_response(word, output="Z")) == "0"   # 1^1
+        assert str(sim.output_response(word, output="CO")) == "1"  # 1&1
+
+    def test_transitions_per_port(self, ha1):
+        sim = golden_simulator(ha1, SOI28.electrical)
+        word = parse_word("R1")
+        assert str(sim.output_response(word, output="Z")) == "F"
+        assert str(sim.output_response(word, output="CO")) == "R"
+
+    def test_widened_adder_still_correct(self):
+        cell = build_cell(SOI28, "HA1", 2)
+        for port, expr in CATALOG["HA1"].exprs(cell.inputs).items():
+            assert not logic_check(cell, expr, SOI28.electrical, output=port)
+
+
+class TestPerOutputGeneration:
+    def test_generate_multi_covers_all_outputs(self, ha1):
+        models = generate_multi(ha1, SOI28.electrical)
+        assert set(models) == {"Z", "CO"}
+        for port, model in models.items():
+            assert model.output == port
+            assert model.n_defects == 10 * ha1.n_transistors
+
+    def test_outputs_observe_different_defects(self, ha1):
+        models = generate_multi(ha1, SOI28.electrical)
+        assert not (models["Z"].detection == models["CO"].detection).all()
+        union = models["Z"].detection | models["CO"].detection
+        covered_union = float(union.any(axis=1).mean())
+        assert covered_union > models["Z"].coverage()
+        assert covered_union > models["CO"].coverage()
+
+    def test_bad_output_rejected(self, ha1):
+        with pytest.raises(ValueError):
+            generate_ca_model(ha1, params=SOI28.electrical, output="Q")
+
+    def test_matrix_per_output(self, ha1):
+        from repro.camatrix import training_matrix
+
+        models = generate_multi(ha1, SOI28.electrical, policy="static")
+        for port, model in models.items():
+            matrix = training_matrix(ha1, model, SOI28.electrical)
+            assert matrix.labels is not None
+            rebuilt = matrix.to_model()
+            assert (rebuilt.detection == model.detection).all()

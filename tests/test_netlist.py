@@ -1,0 +1,128 @@
+"""Unit tests for the netlist object model."""
+
+import pytest
+
+from repro.spice import CellNetlist, NetlistError, Transistor, bulk_rail
+
+
+def _inv(name="INV"):
+    return CellNetlist(
+        name=name,
+        inputs=["A"],
+        outputs=["Z"],
+        transistors=[
+            Transistor("M0", "nmos", "Z", "A", "VSS", "VSS"),
+            Transistor("M1", "pmos", "Z", "A", "VDD", "VDD"),
+        ],
+    )
+
+
+class TestTransistor:
+    def test_terminal_access(self):
+        t = Transistor("M0", "nmos", "d", "g", "s", "b")
+        assert t.terminal("D") == "d"
+        assert t.terminal("G") == "g"
+        assert t.terminal("S") == "s"
+        assert t.terminal("B") == "b"
+
+    def test_bad_terminal(self):
+        t = Transistor("M0", "nmos", "d", "g", "s", "b")
+        with pytest.raises(NetlistError):
+            t.terminal("Q")
+
+    def test_bad_type(self):
+        with pytest.raises(NetlistError):
+            Transistor("M0", "npn", "d", "g", "s", "b")
+
+    def test_bad_geometry(self):
+        with pytest.raises(NetlistError):
+            Transistor("M0", "nmos", "d", "g", "s", "b", w=0.0)
+
+    def test_renamed(self):
+        t = Transistor("M0", "nmos", "d", "g", "s", "b")
+        t2 = t.renamed("N0")
+        assert t2.name == "N0" and t2.drain == "d" and t.name == "M0"
+
+    def test_channel_nets(self):
+        t = Transistor("M0", "pmos", "Z", "A", "VDD", "VDD")
+        assert t.channel_nets() == ("Z", "VDD")
+
+    def test_polarity_flags(self):
+        assert Transistor("M0", "nmos", "d", "g", "s", "b").is_nmos
+        assert Transistor("M1", "pmos", "d", "g", "s", "b").is_pmos
+
+
+class TestCellNetlist:
+    def test_nets_and_internal(self):
+        cell = _inv()
+        assert cell.nets() == {"A", "Z", "VDD", "VSS"}
+        assert cell.internal_nets() == set()
+
+    def test_group_key(self):
+        cell = _inv()
+        assert cell.group_key == (1, 2)
+
+    def test_lookup(self):
+        cell = _inv()
+        assert cell.transistor("M0").is_nmos
+        with pytest.raises(NetlistError):
+            cell.transistor("MX")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(NetlistError):
+            CellNetlist(
+                name="BAD",
+                inputs=["A"],
+                outputs=["Z"],
+                transistors=[
+                    Transistor("M0", "nmos", "Z", "A", "VSS", "VSS"),
+                    Transistor("M0", "pmos", "Z", "A", "VDD", "VDD"),
+                ],
+            )
+
+    def test_no_output_rejected(self):
+        with pytest.raises(NetlistError):
+            CellNetlist(name="BAD", inputs=["A"], outputs=[])
+
+    def test_port_overlap_rejected(self):
+        with pytest.raises(NetlistError):
+            CellNetlist(name="BAD", inputs=["Z"], outputs=["Z"])
+
+    def test_rail_collision_rejected(self):
+        with pytest.raises(NetlistError):
+            CellNetlist(
+                name="BAD", inputs=["A"], outputs=["Z"], power="VDD", ground="VDD"
+            )
+
+    def test_renamed_nets(self):
+        cell = _inv().renamed_nets({"A": "IN", "Z": "OUT"})
+        assert cell.inputs == ["IN"] and cell.outputs == ["OUT"]
+        assert cell.transistor("M0").gate == "IN"
+
+    def test_with_transistors(self):
+        cell = _inv()
+        smaller = cell.with_transistors(cell.transistors[:1])
+        assert smaller.n_transistors == 1
+        assert cell.n_transistors == 2
+
+    def test_gate_loads_and_channel_neighbors(self):
+        cell = _inv()
+        assert len(cell.gate_loads("A")) == 2
+        assert len(cell.channel_neighbors("Z")) == 2
+
+    def test_check_connected_flags_dangling_input(self):
+        cell = CellNetlist(
+            name="DANGLE",
+            inputs=["A", "B"],
+            outputs=["Z"],
+            transistors=[
+                Transistor("M0", "nmos", "Z", "A", "VSS", "VSS"),
+                Transistor("M1", "pmos", "Z", "A", "VDD", "VDD"),
+            ],
+        )
+        warnings = cell.check_connected()
+        assert any("B" in w for w in warnings)
+
+    def test_bulk_rail(self):
+        assert bulk_rail("nmos") == "VSS"
+        assert bulk_rail("pmos") == "VDD"

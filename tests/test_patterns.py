@@ -1,0 +1,96 @@
+"""Unit tests for CA-guided pattern selection and cell-level diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.camodel.patterns import (
+    DiagnosisCandidate,
+    PatternSet,
+    diagnose,
+    select_patterns,
+)
+
+
+class TestSelectPatterns:
+    def test_full_coverage_on_real_model(self, nand2_model):
+        result = select_patterns(nand2_model)
+        assert result.coverage == 1.0
+        assert len(result.stimuli) <= nand2_model.n_stimuli
+        # selection covers every detectable equivalence class
+        classes = nand2_model.equivalence()
+        for eq_class in classes:
+            row = np.array(eq_class.detection)
+            if row.any():
+                assert any(row[i] for i in result.stimuli)
+
+    def test_compaction_effective(self, aoi21_model):
+        result = select_patterns(aoi21_model)
+        # a handful of patterns covers everything the exhaustive set does
+        assert len(result.stimuli) < aoi21_model.n_stimuli / 2
+
+    def test_budget_limits_patterns(self, nand2_model):
+        limited = select_patterns(nand2_model, max_patterns=2)
+        assert len(limited.stimuli) <= 2
+        full = select_patterns(nand2_model)
+        assert limited.coverage <= full.coverage
+
+    def test_undetectable_reported(self, nand2_model):
+        result = select_patterns(nand2_model)
+        # bulk opens are logically benign -> undetectable classes exist
+        assert result.undetectable
+
+    def test_words_render(self, nand2_model):
+        result = select_patterns(nand2_model)
+        words = result.words(nand2_model)
+        assert len(words) == len(result.stimuli)
+        assert all(set(w) <= set("01RF") for w in words)
+
+    def test_without_equivalence_collapse(self, nand2_model):
+        raw = select_patterns(nand2_model, collapse_equivalent=False)
+        assert raw.coverage == 1.0
+
+    def test_greedy_order_is_by_gain(self, nand2_model):
+        result = select_patterns(nand2_model)
+        classes = nand2_model.equivalence()
+        rows = np.array([c.detection for c in classes])
+        detectable = rows[rows.any(axis=1)]
+        first_gain = detectable[:, result.stimuli[0]].sum()
+        assert first_gain == detectable.sum(axis=0).max()
+
+
+class TestDiagnose:
+    def test_exact_signature_identified(self, nand2_model):
+        eq_class = next(
+            c for c in nand2_model.equivalence() if any(c.detection)
+        )
+        observed = list(eq_class.detection)
+        candidates = diagnose(nand2_model, observed)
+        assert candidates[0].exact
+        assert candidates[0].defect_names == eq_class.members
+        assert candidates[0].score == 1.0
+
+    def test_noisy_signature_still_ranked_first(self, nand2_model):
+        eq_class = max(
+            (c for c in nand2_model.equivalence()),
+            key=lambda c: sum(c.detection),
+        )
+        observed = list(eq_class.detection)
+        flip = next(i for i, v in enumerate(observed) if v == 0)
+        observed[flip] = 1  # one spurious fail
+        candidates = diagnose(nand2_model, observed, top=3)
+        assert eq_class.members in [c.defect_names for c in candidates]
+
+    def test_wrong_length_rejected(self, nand2_model):
+        with pytest.raises(ValueError):
+            diagnose(nand2_model, [0, 1])
+
+    def test_top_limits_results(self, nand2_model):
+        observed = [0] * nand2_model.n_stimuli
+        observed[0] = 1
+        assert len(diagnose(nand2_model, observed, top=2)) == 2
+
+    def test_scores_sorted_descending(self, nand2_model):
+        observed = [0] * nand2_model.n_stimuli
+        observed[-1] = 1
+        scores = [c.score for c in diagnose(nand2_model, observed, top=5)]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.camatrix import rename_transistors
+from repro.defects import equivalence_classes
+from repro.learning import DecisionTreeClassifier, accuracy_score
+from repro.library import SOI28, get_function
+from repro.library.synth import SynthesisOptions, synthesize
+from repro.logic import (
+    V4,
+    final_phase,
+    initial_phase,
+    parse_word,
+    word_from_phases,
+    word_to_string,
+)
+from repro.simulation import logic_check
+
+SYMBOLS = st.sampled_from("01RF")
+WORDS = st.text(alphabet="01RF", min_size=1, max_size=6)
+
+
+class TestFourValueProperties:
+    @given(WORDS)
+    def test_word_roundtrip(self, text):
+        assert word_to_string(parse_word(text)) == text
+
+    @given(WORDS)
+    def test_phase_recombination(self, text):
+        word = parse_word(text)
+        assert word_from_phases(initial_phase(word), final_phase(word)) == word
+
+    @given(SYMBOLS)
+    def test_inversion_flips_phases(self, ch):
+        v = V4.from_string(ch)
+        assert v.inverted.initial == 1 - v.initial
+        assert v.inverted.final == 1 - v.final
+
+
+class TestEquivalenceProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40)
+    def test_classes_partition_defects(self, n_defects, n_stimuli, seed):
+        rng = np.random.default_rng(seed)
+        detection = rng.integers(0, 2, size=(n_defects, n_stimuli)).astype(np.int8)
+        names = [f"D{i}" for i in range(n_defects)]
+        classes = equivalence_classes(detection, names)
+        members = [m for c in classes for m in c.members]
+        assert sorted(members) == sorted(names)
+        # all members of a class share the representative's row
+        for c in classes:
+            rep = detection[names.index(c.representative)]
+            for m in c.members:
+                assert (detection[names.index(m)] == rep).all()
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=25)
+    def test_distinct_rows_distinct_classes(self, n_defects, n_stimuli, seed):
+        rng = np.random.default_rng(seed)
+        detection = rng.integers(0, 2, size=(n_defects, n_stimuli)).astype(np.int8)
+        classes = equivalence_classes(detection, [f"D{i}" for i in range(n_defects)])
+        rows = {c.detection for c in classes}
+        assert len(rows) == len(classes)
+
+
+class TestRenamingProperties:
+    @given(
+        st.sampled_from(["NAND2", "NOR2", "AOI21", "OAI21", "AND2", "XOR2"]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_shuffle_invariant_canonicalization(self, function, seed):
+        """The canonical form must not depend on source netlist ordering."""
+        fdef = get_function(function)
+        pins = [chr(ord("A") + i) for i in range(fdef.n_inputs)]
+        spec = fdef.spec(pins, "Z")
+        reference = synthesize(spec, function, SynthesisOptions(shuffle_seed=None))
+        shuffled = synthesize(spec, function, SynthesisOptions(shuffle_seed=seed))
+        ra = rename_transistors(reference)
+        rb = rename_transistors(shuffled)
+        assert ra.signature == rb.signature
+        assert sorted(ra.activity.items()) == sorted(rb.activity.items())
+        assert ra.structure == rb.structure
+        gates_a = {
+            new: reference.transistor(old).gate for old, new in ra.mapping.items()
+        }
+        gates_b = {
+            new: shuffled.transistor(old).gate for old, new in rb.mapping.items()
+        }
+        assert gates_a == gates_b
+
+    @given(st.sampled_from(["NAND2", "NOR3", "AOI21", "AND2"]))
+    @settings(max_examples=8, deadline=None)
+    def test_synthesized_cells_match_formula(self, function):
+        fdef = get_function(function)
+        pins = [chr(ord("A") + i) for i in range(fdef.n_inputs)]
+        cell = synthesize(fdef.spec(pins, "Z"), function)
+        assert not logic_check(cell, fdef.expr(pins))
+
+
+class TestTreeProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_tree_fits_consistent_labels_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.integers(0, 3, size=(120, 5)).astype(np.int8)
+        y = ((X[:, 0] + X[:, 2]) % 2).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) == 1.0
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_leaf_distribution_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.integers(0, 4, size=(60, 4)).astype(np.int8)
+        y = rng.integers(0, 2, size=60)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert (proba >= 0).all() and np.allclose(proba.sum(axis=1), 1.0)

@@ -1,0 +1,113 @@
+"""Property-based tests on randomly generated cells.
+
+Hypothesis builds random series-parallel cell specifications; for every
+one of them the switch-level simulator must agree with direct Boolean
+evaluation, and the canonical renaming must be invariant under netlist
+shuffling.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.camatrix import rename_transistors
+from repro.library.synth import (
+    CellSpec,
+    Leaf,
+    StageSpec,
+    SynthesisOptions,
+    parallel,
+    series,
+    synthesize,
+)
+from repro.logic import And, Expr, Not, Or, Var
+from repro.simulation import logic_check
+
+# ----------------------------------------------------------------------
+# Random SP expression strategy
+# ----------------------------------------------------------------------
+
+PINS = ("A", "B", "C")
+
+
+def _sp_and_expr(draw, depth: int):
+    """Recursive builder: returns (SP network, Boolean conduction expr)."""
+    if depth <= 0 or draw(st.booleans()):
+        pin = draw(st.sampled_from(PINS))
+        return Leaf(pin), Var(pin)
+    make_series = draw(st.booleans())
+    left_sp, left_expr = _sp_and_expr(draw, depth - 1)
+    right_sp, right_expr = _sp_and_expr(draw, depth - 1)
+    if make_series:
+        return series(left_sp, right_sp), And(left_expr, right_expr)
+    return parallel(left_sp, right_sp), Or(left_expr, right_expr)
+
+
+@st.composite
+def random_cell_spec(draw):
+    sp, conduction = _sp_and_expr(draw, depth=draw(st.integers(1, 3)))
+    spec = CellSpec(
+        function="RND",
+        inputs=tuple(PINS),
+        output="Z",
+        stages=(StageSpec(out="Z", pulldown=sp),),
+    )
+    return spec, Not(conduction)  # static CMOS inverts the pull-down
+
+
+class TestRandomCells:
+    @given(random_cell_spec())
+    @settings(max_examples=30, deadline=None)
+    def test_simulator_matches_boolean(self, spec_expr):
+        spec, expected = spec_expr
+        cell = synthesize(spec, "RND")
+        assert not logic_check(cell, expected)
+
+    @given(random_cell_spec(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_renaming_shuffle_invariant(self, spec_expr, seed):
+        spec, _expected = spec_expr
+        reference = synthesize(spec, "RND")
+        shuffled = synthesize(spec, "RND", SynthesisOptions(shuffle_seed=seed))
+        ra = rename_transistors(reference)
+        rb = rename_transistors(shuffled)
+        assert ra.signature == rb.signature
+        gates_a = {
+            new: reference.transistor(old).gate for old, new in ra.mapping.items()
+        }
+        gates_b = {
+            new: shuffled.transistor(old).gate for old, new in rb.mapping.items()
+        }
+        assert gates_a == gates_b
+
+    @given(random_cell_spec())
+    @settings(max_examples=15, deadline=None)
+    def test_structure_descriptors_total(self, spec_expr):
+        spec, _expected = spec_expr
+        cell = synthesize(spec, "RND")
+        renamed = rename_transistors(cell)
+        assert set(renamed.structure) == set(renamed.mapping.values())
+        for level, depth, width in renamed.structure.values():
+            assert level >= 1 and depth >= 1 and width >= 1
+
+    @given(random_cell_spec())
+    @settings(max_examples=15, deadline=None)
+    def test_two_pattern_consistency(self, spec_expr):
+        """Every dynamic word's phases must match the two static solves."""
+        from repro.logic import word_from_phases
+        from repro.simulation import golden_simulator
+
+        spec, _expected = spec_expr
+        cell = synthesize(spec, "RND")
+        sim = golden_simulator(cell)
+        vectors = list(itertools.product((0, 1), repeat=3))[:4]
+        for initial in vectors:
+            for final in vectors:
+                if initial == final:
+                    continue
+                word = word_from_phases(initial, final)
+                response = sim.output_response(word)
+                first = sim.static_net_codes(initial)[cell.outputs[0]]
+                second = sim.static_net_codes(final)[cell.outputs[0]]
+                assert response.initial == first
+                assert response.final == second

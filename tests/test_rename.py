@@ -1,0 +1,125 @@
+"""Unit tests for canonical transistor renaming — the paper's key step."""
+
+import pytest
+
+from repro.camatrix import activity_values, rename_transistors
+from repro.library import C28, C40, SOI28, build_cell, function_names, CATALOG
+from repro.library.synth import SynthesisOptions, synthesize
+from repro.library.catalog import get as get_function
+
+
+class TestPaperTable2:
+    """The NAND2 renaming example of Table II, reproduced exactly."""
+
+    def test_activity_values(self, nand2):
+        activity = activity_values(nand2, params=SOI28.electrical)
+        by_gate = {}
+        for t in nand2.transistors:
+            by_gate[(t.ttype, t.gate)] = activity[t.name]
+        assert by_gate[("nmos", "A")] == 3
+        assert by_gate[("nmos", "B")] == 5
+        assert by_gate[("pmos", "A")] == 12
+        assert by_gate[("pmos", "B")] == 10
+
+    def test_renaming(self, nand2):
+        renamed = rename_transistors(nand2, SOI28.electrical)
+        # sorted by ascending activity: N0=3, N1=5, P0=10, P1=12
+        assert renamed.activity == {"N0": 3, "N1": 5, "P0": 10, "P1": 12}
+
+    def test_canonical_netlist_devices_renamed(self, nand2):
+        renamed = rename_transistors(nand2, SOI28.electrical)
+        assert sorted(t.name for t in renamed.cell.transistors) == [
+            "N0",
+            "N1",
+            "P0",
+            "P1",
+        ]
+
+    def test_signature(self, nand2):
+        renamed = rename_transistors(nand2, SOI28.electrical)
+        assert renamed.signature == ("((1n&1n)|1p|1p)",)
+
+
+class TestCrossLibraryInvariance:
+    @pytest.mark.parametrize(
+        "function",
+        sorted(set(SOI28.functions) & set(C40.functions) & set(C28.functions)),
+    )
+    def test_signature_and_equations_match(self, function):
+        rows = []
+        for tech in (SOI28, C40, C28):
+            cell = build_cell(tech, function, 1)
+            renamed = rename_transistors(cell, tech.electrical)
+            rows.append((renamed.signature, tuple(renamed.equations())))
+        assert rows[0] == rows[1] == rows[2]
+
+    def test_shuffle_invariance(self):
+        """Renaming must not depend on source transistor order or names."""
+        fdef = get_function("AOI21")
+        spec = fdef.spec(["A", "B", "C"], "Z")
+        reference = None
+        for seed in (None, 3, 99, 1234):
+            cell = synthesize(spec, "AOI21", SynthesisOptions(shuffle_seed=seed))
+            renamed = rename_transistors(cell)
+            gates = tuple(
+                cell.transistor(old).gate
+                for old, _new in sorted(
+                    renamed.mapping.items(), key=lambda kv: kv[1]
+                )
+            )
+            key = (renamed.signature, gates, tuple(sorted(renamed.activity.items())))
+            if reference is None:
+                reference = key
+            else:
+                assert key == reference
+
+    def test_mapping_is_bijection(self, aoi21):
+        renamed = rename_transistors(aoi21, SOI28.electrical)
+        assert len(set(renamed.mapping.values())) == aoi21.n_transistors
+
+    def test_counts_by_type(self, aoi21):
+        renamed = rename_transistors(aoi21, SOI28.electrical)
+        names = renamed.canonical_names()
+        n = [x for x in names if x.startswith("N")]
+        p = [x for x in names if x.startswith("P")]
+        assert len(n) == sum(t.is_nmos for t in aoi21.transistors)
+        assert len(p) == sum(t.is_pmos for t in aoi21.transistors)
+        assert n == [f"N{i}" for i in range(len(n))]
+        assert p == [f"P{i}" for i in range(len(p))]
+
+    def test_pin_order_preserved_for_builder_cells(self, nand2):
+        renamed = rename_transistors(nand2, SOI28.electrical)
+        assert renamed.pin_order == nand2.inputs
+
+    def test_drive_styles_have_different_signatures(self):
+        merged = rename_transistors(build_cell(SOI28, "NAND2", 2), SOI28.electrical)
+        split = rename_transistors(build_cell(C40, "NAND2", 2), C40.electrical)
+        assert merged.signature != split.signature
+
+
+class TestActivityValues:
+    def test_range(self, aoi21):
+        activity = activity_values(aoi21, params=SOI28.electrical)
+        upper = 2 ** (2 ** aoi21.n_inputs)
+        assert all(0 <= v < upper for v in activity.values())
+
+    def test_complementary_pairs(self, nand2):
+        """NMOS and PMOS gated by the same pin have complementary bits."""
+        activity = activity_values(nand2, params=SOI28.electrical)
+        mask = (1 << (2 ** nand2.n_inputs)) - 1
+        for pin in nand2.inputs:
+            pair = [t for t in nand2.transistors if t.gate == pin]
+            n = next(t for t in pair if t.is_nmos)
+            p = next(t for t in pair if t.is_pmos)
+            assert activity[n.name] ^ activity[p.name] == mask
+
+    def test_pin_order_changes_values(self, nand2):
+        default = activity_values(nand2, params=SOI28.electrical)
+        swapped = activity_values(
+            nand2, params=SOI28.electrical, pin_order=list(reversed(nand2.inputs))
+        )
+        assert default != swapped
+
+    def test_bad_pin_order(self, nand2):
+        with pytest.raises(ValueError):
+            activity_values(nand2, params=SOI28.electrical, pin_order=["A", "Q"])

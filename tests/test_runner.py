@@ -1,0 +1,59 @@
+"""Smoke tests for the all-experiments runner (heavy parts stubbed)."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunner:
+    def test_main_writes_output(self, tmp_path, monkeypatch):
+        artifacts = ["TABLE A", "TABLE B"]
+        monkeypatch.setattr(runner, "run_all", lambda scale: artifacts)
+        out = tmp_path / "report.txt"
+        assert runner.main(["--scale", "tiny", "--output", str(out)]) == 0
+        assert out.read_text() == "TABLE A\n\nTABLE B\n"
+
+    def test_main_without_output(self, monkeypatch, capsys):
+        monkeypatch.setattr(runner, "run_all", lambda scale: ["X"])
+        assert runner.main([]) == 0
+        assert "wrote" not in capsys.readouterr().out
+
+    def test_run_all_light_half(self, monkeypatch, capsys):
+        """The illustrative tables run for real; the evaluation half is
+        stubbed so the smoke test stays fast."""
+        import repro.experiments.runner as r
+
+        monkeypatch.setattr(
+            r, "table4a_same_technology", lambda scale: (_FakeReport(), "IVa")
+        )
+        monkeypatch.setattr(
+            r,
+            "table4bc_cross_technology",
+            lambda tech, scale: (_FakeReport(), f"IV-{tech}"),
+        )
+        monkeypatch.setattr(r, "accuracy_bands", lambda tech, scale: _FakeBands())
+        monkeypatch.setattr(r, "hybrid_flow_study", lambda scale: _FakeStudy())
+        artifacts = r.run_all(scale="tiny", verbose=False)
+        joined = "\n".join(artifacts)
+        assert "Table II" in joined
+        assert "IVa" in joined and "IV-c28" in joined and "hybrid" in joined
+
+
+class _FakeReport:
+    def mean_accuracy(self):
+        return 0.99
+
+    def accuracy_fraction_above(self, threshold=0.97):
+        return 0.9
+
+    uncovered = ()
+
+
+class _FakeBands:
+    def render(self):
+        return "bands"
+
+
+class _FakeStudy:
+    def render(self):
+        return "hybrid study"

@@ -1,0 +1,115 @@
+"""Unit tests for the relaxed structural matcher (Section V.C extension)."""
+
+import pytest
+
+from repro.camatrix import rename_transistors
+from repro.camodel import generate_ca_model
+from repro.flow import (
+    RELAXED,
+    HybridFlow,
+    SimilarityIndex,
+    structural_similarity,
+)
+from repro.learning import build_samples
+from repro.library import C28, C40, SOI28, build_cell
+
+
+def _renamed(tech, function, drive=1):
+    return rename_transistors(build_cell(tech, function, drive), tech.electrical)
+
+
+class TestSimilarityScore:
+    def test_identical_structures_score_one(self):
+        a = _renamed(SOI28, "NAND2")
+        b = _renamed(C28, "NAND2")
+        assert structural_similarity(a, b) == pytest.approx(1.0)
+
+    def test_merged_split_score_one(self):
+        merged = _renamed(SOI28, "NAND2", 2)
+        split = _renamed(C40, "NAND2", 2)
+        assert structural_similarity(merged, split) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = _renamed(SOI28, "NAND2")
+        b = _renamed(SOI28, "NOR2")
+        assert structural_similarity(a, b) == pytest.approx(
+            structural_similarity(b, a)
+        )
+
+    def test_related_structures_partial_score(self):
+        nand = _renamed(SOI28, "NAND2")
+        nor = _renamed(SOI28, "NOR2")
+        score = structural_similarity(nand, nor)
+        assert 0.0 < score < 1.0
+
+    def test_unrelated_structures_low_score(self):
+        inv = _renamed(SOI28, "INV")
+        aoi = _renamed(SOI28, "AOI222")
+        assert structural_similarity(inv, aoi) < structural_similarity(
+            _renamed(SOI28, "AOI221"), aoi
+        )
+
+    def test_b_gate_similar_to_buffered_gate(self):
+        # NAND2B and AND2 share both stage shapes (at swapped levels)
+        nand2b = _renamed(C40, "NAND2B")
+        and2 = _renamed(SOI28, "AND2")
+        assert structural_similarity(nand2b, and2) > 0.4
+
+
+class TestSimilarityIndex:
+    def test_best_match_within_group_only(self):
+        index = SimilarityIndex()
+        index.add(_renamed(SOI28, "NAND2"))
+        score, name = index.best_match(_renamed(C40, "NAND2"))
+        assert score == pytest.approx(1.0)
+        assert name == "S28_NAND2X1"
+        # different group: no candidates
+        score, name = index.best_match(_renamed(C40, "NAND2", 2))
+        assert score == 0.0 and name is None
+
+    def test_admits_threshold(self):
+        index = SimilarityIndex()
+        index.add(_renamed(SOI28, "NAND2"))
+        nor = _renamed(C28, "NOR2")
+        assert index.admits(nor, threshold=0.2)
+        assert not index.admits(nor, threshold=0.99)
+
+
+class TestRelaxedRouting:
+    @pytest.fixture(scope="class")
+    def train(self):
+        cells = [
+            build_cell(SOI28, fn, 1, flavor)
+            for fn in ("AND2", "OR2")
+            for flavor in SOI28.flavors
+        ]
+        return build_samples(
+            [(c, generate_ca_model(c, params=SOI28.electrical)) for c in cells],
+            SOI28.electrical,
+        )
+
+    def test_strict_simulates_b_gates(self, train):
+        flow = HybridFlow(train, params=C40.electrical, router="strict")
+        decision = flow.generate(build_cell(C40, "NAND2B", 1))
+        assert decision.route == "simulate"
+
+    def test_relaxed_admits_b_gates(self, train):
+        flow = HybridFlow(
+            train, params=C40.electrical, router="relaxed",
+            similarity_threshold=0.4,
+        )
+        decision = flow.generate(build_cell(C40, "NAND2B", 1))
+        assert decision.match == RELAXED
+        assert decision.route == "ml"
+
+    def test_relaxed_still_rejects_aliens(self, train):
+        flow = HybridFlow(
+            train, params=C28.electrical, router="relaxed",
+            similarity_threshold=0.8,
+        )
+        decision = flow.generate(build_cell(C28, "XOR2", 1))
+        assert decision.route == "simulate"
+
+    def test_bad_router_rejected(self, train):
+        with pytest.raises(ValueError):
+            HybridFlow(train, router="psychic")

@@ -1,0 +1,131 @@
+"""Tests for library statistics, feature importance and Verilog export."""
+
+import numpy as np
+import pytest
+
+from repro.camodel.stats import LibraryStats, library_stats
+from repro.learning import RandomForestClassifier
+from repro.learning.importance import grouped_importance, permutation_importance
+from repro.library import SOI28, build_cell
+from repro.spice.verilog import to_verilog, to_verilog_library
+
+
+class TestLibraryStats:
+    @pytest.fixture(scope="class")
+    def stats(self, request):
+        from repro.camodel import generate_ca_model
+
+        pairs = []
+        for fn in ("INV", "NAND2", "NOR2"):
+            cell = build_cell(SOI28, fn, 1)
+            pairs.append((cell, generate_ca_model(cell, params=SOI28.electrical)))
+        return library_stats(pairs)
+
+    def test_counts(self, stats):
+        assert len(stats.cells) == 3
+        assert stats.total_simulations() > 0
+
+    def test_type_totals_partition(self, stats):
+        totals = stats.type_totals()
+        assert sum(totals.values()) == sum(c.n_defects for c in stats.cells)
+
+    def test_redundancy_positive(self, stats):
+        assert 0.0 < stats.redundancy() < 1.0
+
+    def test_by_function(self, stats):
+        per_function = stats.by_function()
+        assert set(per_function) == {"INV", "NAND2", "NOR2"}
+        assert per_function["NAND2"]["cells"] == 1
+
+    def test_scaling_series_sorted(self, stats):
+        series = stats.simulations_by_size()
+        sizes = [s for s, _v in series]
+        assert sizes == sorted(sizes)
+        # bigger cells need more simulations
+        assert series[-1][1] > series[0][1]
+
+    def test_empty(self):
+        empty = LibraryStats()
+        assert empty.mean_coverage() == 0.0
+        assert empty.redundancy() == 0.0
+
+
+class TestPermutationImportance:
+    def test_identifies_informative_column(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 4, size=(3000, 5)).astype(np.int8)
+        y = (X[:, 2] > 1).astype(int)
+        clf = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        importances = permutation_importance(clf, X, y, n_repeats=2)
+        best = max(importances, key=importances.get)
+        assert best == "f2"
+        assert importances["f2"] > 0.2
+        assert importances["f0"] < 0.05
+
+    def test_column_names(self):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 2, size=(500, 2)).astype(np.int8)
+        y = X[:, 0]
+        clf = RandomForestClassifier(n_estimators=3, random_state=0).fit(X, y)
+        importances = permutation_importance(
+            clf, X, y, columns=["a", "b"], n_repeats=1
+        )
+        assert set(importances) == {"a", "b"}
+
+    def test_name_mismatch_rejected(self):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 2, size=(50, 2)).astype(np.int8)
+        y = X[:, 0]
+        clf = RandomForestClassifier(n_estimators=2, random_state=0).fit(X, y)
+        with pytest.raises(ValueError):
+            permutation_importance(clf, X, y, columns=["only-one"])
+
+    def test_grouped_importance_on_real_matrix(self, nand2, nand2_model):
+        from repro.camatrix import training_matrix
+
+        matrix = training_matrix(nand2, nand2_model, SOI28.electrical)
+        clf = RandomForestClassifier(
+            n_estimators=6, max_features=0.5, random_state=0
+        ).fit(matrix.features, matrix.labels)
+        importances = permutation_importance(
+            clf, matrix.features, matrix.labels, columns=matrix.columns, n_repeats=1
+        )
+        groups = grouped_importance(importances, matrix.columns)
+        assert set(groups) == {"stimulus", "response", "activity", "structure", "defect"}
+        # defect-location and stimulus/activity columns carry the signal
+        assert groups["defect"] > 0.0
+
+
+class TestVerilogExport:
+    def test_structure(self, nand2):
+        text = to_verilog(nand2)
+        assert text.count("nmos ") == 2
+        assert text.count("pmos ") == 2
+        assert "supply1 VDD;" in text and "supply0 VSS;" in text
+        assert "module S28_NAND2X1" in text
+        assert text.strip().endswith("endmodule")
+
+    def test_ports_declared(self, nand2):
+        text = to_verilog(nand2)
+        assert "input  A" in text and "input  B" in text
+        assert "output Z" in text
+
+    def test_identifier_sanitization(self):
+        from repro.spice import CellNetlist, Transistor
+
+        cell = CellNetlist(
+            name="X-1",
+            inputs=["in.1"],
+            outputs=["out"],
+            transistors=[
+                Transistor("M0", "nmos", "out", "in.1", "VSS", "VSS"),
+                Transistor("M1", "pmos", "out", "in.1", "VDD", "VDD"),
+            ],
+        )
+        text = to_verilog(cell)
+        assert "in.1" not in text
+        assert "in_1" in text
+
+    def test_library_export(self, nand2, nor2):
+        text = to_verilog_library([nand2, nor2])
+        assert text.count("endmodule") == 2

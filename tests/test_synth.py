@@ -1,0 +1,139 @@
+"""Unit tests for series-parallel synthesis and drive widening."""
+
+import itertools
+
+import pytest
+
+from repro.library import (
+    CellSpec,
+    Leaf,
+    Parallel,
+    Series,
+    StageSpec,
+    SynthesisOptions,
+    parallel,
+    series,
+    synthesize,
+    widen_spec,
+)
+from repro.simulation import logic_check
+from repro.logic import parse_expr
+
+
+def nand2_spec():
+    return CellSpec(
+        function="NAND2",
+        inputs=("A", "B"),
+        output="Z",
+        stages=(StageSpec(out="Z", pulldown=series(Leaf("A"), Leaf("B"))),),
+    )
+
+
+class TestSP:
+    def test_leaves(self):
+        sp = series(Leaf("A"), parallel(Leaf("B"), Leaf("C")))
+        assert sp.leaves() == ["A", "B", "C"]
+        assert sp.n_devices() == 3
+
+    def test_dual_swaps(self):
+        sp = series(Leaf("A"), Leaf("B"))
+        dual = sp.dual()
+        assert isinstance(dual, Parallel)
+        assert dual.leaves() == ["A", "B"]
+
+    def test_dual_involution(self):
+        sp = parallel(series(Leaf("A"), Leaf("B")), Leaf("C"))
+        assert str(sp.dual().dual()) == str(sp)
+
+    def test_render(self):
+        sp = parallel(series(Leaf("A"), Leaf("B")), Leaf("C"))
+        assert str(sp) == "(A&B)|C"
+
+    def test_group_needs_two(self):
+        with pytest.raises(ValueError):
+            Series(Leaf("A"))
+
+    def test_single_item_helpers(self):
+        assert isinstance(series(Leaf("A")), Leaf)
+        assert isinstance(parallel(Leaf("A")), Leaf)
+
+
+class TestSynthesize:
+    def test_nand2_structure(self):
+        cell = synthesize(nand2_spec(), "ND2")
+        assert cell.n_transistors == 4
+        assert sum(t.is_nmos for t in cell.transistors) == 2
+        assert not logic_check(cell, parse_expr("!(A&B)"))
+
+    def test_internal_net_style(self):
+        cell = synthesize(
+            nand2_spec(), "ND2", SynthesisOptions(net_style="int_{}")
+        )
+        assert any(net.startswith("int_") for net in cell.internal_nets())
+
+    def test_shuffle_changes_order_not_function(self):
+        base = synthesize(nand2_spec(), "ND2")
+        shuffled = synthesize(
+            nand2_spec(), "ND2", SynthesisOptions(shuffle_seed=1234)
+        )
+        assert not logic_check(shuffled, parse_expr("!(A&B)"))
+        base_order = [(t.ttype, t.gate) for t in base.transistors]
+        shuf_order = [(t.ttype, t.gate) for t in shuffled.transistors]
+        assert sorted(base_order) == sorted(shuf_order)
+
+    def test_shuffle_deterministic(self):
+        a = synthesize(nand2_spec(), "ND2", SynthesisOptions(shuffle_seed=7))
+        b = synthesize(nand2_spec(), "ND2", SynthesisOptions(shuffle_seed=7))
+        assert [t.name for t in a.transistors] == [t.name for t in b.transistors]
+        assert [t.gate for t in a.transistors] == [t.gate for t in b.transistors]
+
+    def test_two_stage(self):
+        spec = CellSpec(
+            function="AND2",
+            inputs=("A", "B"),
+            output="Z",
+            stages=(
+                StageSpec(out="mid", pulldown=series(Leaf("A"), Leaf("B"))),
+                StageSpec(out="Z", pulldown=Leaf("mid")),
+            ),
+        )
+        cell = synthesize(spec, "AND2")
+        assert cell.n_transistors == 6
+        assert not logic_check(cell, parse_expr("A&B"))
+
+
+class TestWiden:
+    @pytest.mark.parametrize("style", ["merged", "split"])
+    @pytest.mark.parametrize("drive", [2, 4])
+    def test_widened_preserves_function_and_count(self, style, drive):
+        spec = widen_spec(nand2_spec(), drive, style)
+        cell = synthesize(spec, f"ND2X{drive}")
+        assert cell.n_transistors == 4 * drive
+        assert not logic_check(cell, parse_expr("!(A&B)"))
+
+    def test_merged_shares_internal_nets(self):
+        merged = synthesize(widen_spec(nand2_spec(), 2, "merged"), "M")
+        split = synthesize(widen_spec(nand2_spec(), 2, "split"), "S")
+        # split duplicates the series stack's internal net; merged shares it
+        assert len(split.internal_nets()) > len(merged.internal_nets())
+
+    def test_drive_one_is_identity(self):
+        assert widen_spec(nand2_spec(), 1, "merged") is nand2_spec() or (
+            widen_spec(nand2_spec(), 1, "merged").stages == nand2_spec().stages
+        )
+
+    def test_bad_style(self):
+        with pytest.raises(ValueError):
+            widen_spec(nand2_spec(), 2, "twisted")
+
+    def test_bad_drive(self):
+        with pytest.raises(ValueError):
+            widen_spec(nand2_spec(), 0, "merged")
+
+    def test_pullup_widened_in_parallel(self):
+        # merged widening must parallel the PMOS network too (not leave the
+        # dual as series pairs)
+        spec = widen_spec(nand2_spec(), 2, "merged")
+        pullup = spec.stages[0].pullup_network
+        # NAND2 pull-up is A|B; merged x2 must have 4 parallel devices
+        assert str(pullup).count("|") == 3

@@ -1,0 +1,89 @@
+"""Tests for electrical parameters and technology-dependent behaviour."""
+
+import dataclasses
+
+import pytest
+
+from repro.camodel import generate_ca_model
+from repro.library import C28, C40, SOI28
+from repro.library.technology import ElectricalParams
+from repro.library import build_cell
+from repro.simulation import SwitchGraph
+
+
+class TestElectricalParams:
+    def test_defaults_consistent(self):
+        params = ElectricalParams()
+        assert params.vil < params.vih
+        assert params.short_resistance > 0
+
+    def test_ron_scales_with_width(self):
+        cell_narrow = build_cell(C28, "INV", 1)
+        cell_wide = build_cell(C40, "INV", 1)
+        g_narrow = SwitchGraph(cell_narrow, C28.electrical).devices[0].g_on
+        g_wide = SwitchGraph(cell_wide, C40.electrical).devices[0].g_on
+        # C40 devices are wider -> more conductive
+        assert g_wide > g_narrow
+
+    def test_technologies_have_distinct_sizing(self):
+        widths = {
+            tech.name: (tech.wn, tech.wp, tech.length)
+            for tech in (SOI28, C40, C28)
+        }
+        assert len(set(widths.values())) == 3
+        # C40 is the older node: longest channel, widest devices
+        assert C40.length > SOI28.length
+        assert C40.wn > SOI28.wn
+
+
+class TestTechnologyDependentDetection:
+    def test_labels_mostly_agree_across_technologies(self):
+        """Sizing perturbs only marginal short detections (the paper's
+        test-condition observation)."""
+        import numpy as np
+
+        from repro.camatrix import training_matrix
+
+        results = {}
+        for tech in (SOI28, C40):
+            cell = build_cell(tech, "NAND2", 1)
+            model = generate_ca_model(cell, params=tech.electrical)
+            matrix = training_matrix(cell, model, tech.electrical)
+            rows = {}
+            for features, label in zip(
+                map(tuple, matrix.features.tolist()), matrix.labels
+            ):
+                rows.setdefault(features, []).append(int(label))
+            results[tech.name] = rows
+        agree = total = 0
+        for features, labels in results["soi28"].items():
+            other = results["c40"].get(features, [])
+            for a, b in zip(sorted(labels), sorted(other)):
+                agree += a == b
+                total += 1
+        assert total > 0
+        assert agree / total > 0.9
+
+    def test_same_cell_same_params_identical_models(self):
+        cell = build_cell(SOI28, "AOI21", 1)
+        a = generate_ca_model(cell, params=SOI28.electrical)
+        b = generate_ca_model(cell, params=SOI28.electrical)
+        assert (a.detection == b.detection).all()
+
+    def test_threshold_band_affects_x(self):
+        cell = build_cell(SOI28, "INV", 1)
+        nmos = next(t for t in cell.transistors if t.is_nmos)
+        ron = SOI28.electrical.rsq_nmos * nmos.l / nmos.w
+        from repro.simulation import CellSimulator, DefectEffect
+        from repro.logic import parse_word
+
+        # a short at Ron/3 puts the divider at 0.75: inside a wide X band,
+        # above the threshold of the standard band
+        standard = dataclasses.replace(SOI28.electrical, vil=0.35, vih=0.65)
+        wide = dataclasses.replace(SOI28.electrical, vil=0.2, vih=0.8)
+        effect = DefectEffect(bridges=(("Z", "VDD", ron / 3),))
+        standard_sim = CellSimulator(cell, standard, effect)
+        wide_sim = CellSimulator(cell, wide, effect)
+        word = parse_word("1")
+        assert str(wide_sim.output_response(word)) == "X"
+        assert str(standard_sim.output_response(word)) == "1"
