@@ -78,7 +78,6 @@ def test_random_forest_wins(group_data):
         clf = factory()
         clf.fit(X, y)
         scores[name] = accuracy_score(y_eval, clf.predict(X_eval))
-    best = max(scores, key=scores.get)
     print("\n" + "\n".join(f"  {k}: {v:.4f}" for k, v in sorted(scores.items())))
     assert scores["random_forest"] >= max(
         v for k, v in scores.items() if k != "random_forest"

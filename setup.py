@@ -21,5 +21,7 @@ setup(
     install_requires=["numpy", "networkx"],
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis", "scipy"],
+        # lint gate run by CI (.github/workflows/ci.yml); config in .ruff.toml
+        "lint": ["ruff"],
     },
 )

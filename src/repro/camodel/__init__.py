@@ -30,7 +30,12 @@ from repro.camodel.batch import generate_library
 from repro.camodel.merge import MergedModel, MergeError, merge_models
 from repro.camodel.udfm import parse_udfm, save_udfm, to_udfm
 from repro.camodel.compare import ComparisonError, LibraryDiff, ModelDiff, compare_models
-from repro.camodel.stats import CellStats, LibraryStats, library_stats
+from repro.camodel.stats import (
+    CellStats,
+    GenerationStats,
+    LibraryStats,
+    library_stats,
+)
 from repro.camodel.patterns import (
     DiagnosisCandidate,
     PatternSet,
@@ -67,6 +72,7 @@ __all__ = [
     "PatternSet",
     "DiagnosisCandidate",
     "CellStats",
+    "GenerationStats",
     "LibraryStats",
     "library_stats",
     "compare_models",

@@ -5,27 +5,37 @@ requirements" are one of the costs the paper lists).  This module fans
 :func:`~repro.camodel.generate.generate_ca_model` out over a process pool;
 cells are rebuilt inside the workers from (technology, cell name) so only
 small payloads cross the pipe.
+
+Generation options (``params``, ``universe``, ``delay_detection``,
+``slow_factor``) are forwarded through the worker payload, so the pooled
+path produces models identical to the inline path.  For the
+complementary *defect-level* fan-out (one large cell saturating all
+cores), see the ``parallelism`` knob of
+:func:`~repro.camodel.generate.generate_ca_model` — the two are
+alternatives: pool workers are daemonic and run the defect loop serially.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.camodel.generate import generate_ca_model
+from repro.camodel.generate import DEFAULT_SLOW_FACTOR, generate_ca_model
 from repro.camodel.io import model_from_dict, model_to_dict
 from repro.camodel.model import CAModel
+from repro.defects.model import Defect
+from repro.library.technology import ElectricalParams
 from repro.spice.netlist import CellNetlist
 from repro.spice.writer import write_cell
 
 
-def _characterize_worker(payload: Tuple[str, str, str]) -> Tuple[str, Dict]:
+def _characterize_worker(payload: Tuple[str, str, str, Dict]) -> Tuple[str, Dict]:
     """Worker: parse the cell text, generate, return a serialized model."""
-    cell_text, technology, policy = payload
+    cell_text, technology, policy, kwargs = payload
     from repro.spice.parser import parse_cell
 
     cell = parse_cell(cell_text, technology=technology)
-    model = generate_ca_model(cell, policy=policy)
+    model = generate_ca_model(cell, policy=policy, **kwargs)
     return cell.name, model_to_dict(model)
 
 
@@ -34,20 +44,47 @@ def generate_library(
     policy: str = "auto",
     processes: Optional[int] = None,
     chunksize: int = 1,
+    params: Optional[ElectricalParams] = None,
+    universe: Optional[Sequence[Defect]] = None,
+    delay_detection: bool = True,
+    slow_factor: float = DEFAULT_SLOW_FACTOR,
+    parallelism: Optional[int] = None,
 ) -> Dict[str, CAModel]:
     """Characterize many cells, optionally in parallel.
 
     ``processes=None`` or ``1`` runs inline (deterministic order, easier
-    debugging); otherwise a ``multiprocessing`` pool is used.  Returns
-    ``{cell name: CAModel}``.
+    debugging); otherwise a ``multiprocessing`` pool is used.  All
+    generation options are honored by both paths, so ``processes=4``
+    returns the same models as ``processes=1``.  ``parallelism`` is the
+    defect-level worker count forwarded to
+    :func:`~repro.camodel.generate.generate_ca_model`; it only takes
+    effect on the inline path (pool workers cannot fork further).
+    Returns ``{cell name: CAModel}``; duplicate cell names are an error
+    (the later model would silently shadow the earlier one).
     """
+    names = [cell.name for cell in cells]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate cell names in library: {', '.join(duplicates)}"
+        )
+
+    kwargs = dict(
+        params=params,
+        universe=universe,
+        delay_detection=delay_detection,
+        slow_factor=slow_factor,
+    )
     if processes is None or processes <= 1:
         return {
-            cell.name: generate_ca_model(cell, policy=policy) for cell in cells
+            cell.name: generate_ca_model(
+                cell, policy=policy, parallelism=parallelism, **kwargs
+            )
+            for cell in cells
         }
 
     payloads = [
-        (write_cell(cell), cell.technology, policy) for cell in cells
+        (write_cell(cell), cell.technology, policy, kwargs) for cell in cells
     ]
     out: Dict[str, CAModel] = {}
     with multiprocessing.Pool(processes=processes) as pool:

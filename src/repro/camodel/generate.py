@@ -4,23 +4,44 @@ For every defect in the universe, the cell is simulated against the full
 stimulus set and each response compared with the golden one.  Detection
 requires a deterministic mismatch: an X defective response (floating or
 contended output) is *not* a detection.
+
+The per-defect loop is the hot path of the whole reproduction (the very
+cost the paper attacks); two levers keep it fast:
+
+* **Shared structure** — the cell's switch-level topology (net indexing,
+  on-conductances, driver edges) is built once per cell as a
+  :class:`~repro.simulation.switchgraph.CellTopology` and cheaply
+  specialized per defect effect, and benign / golden-equivalent defects
+  short-circuit before any solver is built.
+* **Defect-level parallelism** — ``parallelism=N`` splits the defect
+  universe into contiguous chunks characterized on a process pool and
+  merges the per-chunk detection blocks; the result is byte-identical to
+  the serial run.  This saturates all cores even for a single large cell,
+  the case cell-level fan-out (:mod:`repro.camodel.batch`) cannot help.
+
+Cost accounting is collected into a
+:class:`~repro.camodel.stats.GenerationStats` attached to the returned
+model.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.camodel.model import CAModel
+from repro.camodel.stats import GenerationStats
 from repro.camodel.stimuli import Word, stimuli as make_stimuli
 from repro.defects.model import Defect
 from repro.defects.universe import default_universe
-from repro.library.technology import ElectricalParams, Technology
+from repro.library.technology import ElectricalParams
 from repro.library.technology import get as get_technology
 from repro.logic.fourval import V4
 from repro.simulation.engine import CellSimulator
+from repro.simulation.switchgraph import CellTopology
 from repro.spice.netlist import CellNetlist
 
 #: with 'auto', exhaustive stimuli are used up to this input count and the
@@ -32,6 +53,9 @@ AUTO_EXHAUSTIVE_LIMIT = 4
 #: proxy for the transient "slow cell" detections of a SPICE-based flow);
 #: 1.25 catches the loss of one finger out of four (ratio 4/3)
 DEFAULT_SLOW_FACTOR = 1.25
+
+#: below this many defects a process pool costs more than it saves
+MIN_DEFECTS_PER_WORKER = 8
 
 
 def resolve_policy(n_inputs: int, policy: str) -> str:
@@ -47,6 +71,168 @@ def detect(golden: V4, defective: V4) -> int:
     return int(defective is not golden)
 
 
+class _GoldenRun:
+    """Golden pass of one cell: responses plus reference resistances."""
+
+    def __init__(
+        self,
+        cell: CellNetlist,
+        params: ElectricalParams,
+        words: Sequence[Word],
+        port: str,
+        delay_detection: bool,
+        topology: Optional[CellTopology] = None,
+    ):
+        self.topology = topology or CellTopology(cell, params=params)
+        sim = CellSimulator(cell, params=params, topology=self.topology)
+        self.golden: List[V4] = [
+            sim.output_response(w, output=port) for w in words
+        ]
+        self.transition_cols: List[int] = [
+            col for col, response in enumerate(self.golden) if response.is_dynamic
+        ]
+        self.resistance: Dict[int, float] = {}
+        if delay_detection:
+            for col in self.transition_cols:
+                self.resistance[col] = sim.output_drive_resistance(
+                    words[col], output=port
+                )
+        self.solve_count = sim.solve_count
+        self.cache_hit_count = sim.cache_hit_count
+
+
+def _simulate_defect_rows(
+    cell: CellNetlist,
+    params: ElectricalParams,
+    words: Sequence[Word],
+    port: str,
+    defects: Sequence[Defect],
+    golden_run: _GoldenRun,
+    delay_detection: bool,
+    slow_factor: float,
+    keep_responses: bool,
+    progress: Optional[Callable[[int, int], None]] = None,
+    progress_offset: int = 0,
+    progress_total: Optional[int] = None,
+) -> Tuple[np.ndarray, Optional[List[List[V4]]], Dict[str, int]]:
+    """Characterize a contiguous slice of the defect universe.
+
+    This is the kernel both the serial path and every pool worker run;
+    determinism (fixed defect order, identity-based V4 comparison against
+    a locally computed golden pass) guarantees the parallel merge is
+    byte-identical to the serial table.
+    """
+    golden = golden_run.golden
+    transition_cols = golden_run.transition_cols
+    topology = golden_run.topology
+    total = progress_total if progress_total is not None else len(defects)
+
+    detection = np.zeros((len(defects), len(words)), dtype=np.int8)
+    responses: Optional[List[List[V4]]] = [] if keep_responses else None
+    counters = {"simulated": 0, "skipped": 0, "solves": 0, "cache_hits": 0}
+
+    for row, defect in enumerate(defects):
+        effect = defect.effect(cell, params.short_resistance)
+        if effect.benign or effect.is_golden:
+            counters["skipped"] += 1
+            if responses is not None:
+                responses.append(list(golden))
+        else:
+            sim = CellSimulator(
+                cell, params=params, effect=effect, topology=topology
+            )
+            row_responses: List[V4] = []
+            for col, word in enumerate(words):
+                response = sim.output_response(word, output=port)
+                detection[row, col] = detect(golden[col], response)
+                row_responses.append(response)
+            if delay_detection:
+                for col in transition_cols:
+                    if detection[row, col] or row_responses[col] is not golden[col]:
+                        continue
+                    reference = golden_run.resistance[col]
+                    measured = sim.output_drive_resistance(words[col], output=port)
+                    if measured > slow_factor * reference:
+                        detection[row, col] = 1
+            counters["simulated"] += 1
+            counters["solves"] += sim.solve_count
+            counters["cache_hits"] += sim.cache_hit_count
+            if responses is not None:
+                responses.append(row_responses)
+        if progress is not None:
+            progress(progress_offset + row + 1, total)
+
+    return detection, responses, counters
+
+
+def _defect_chunk_worker(payload):
+    """Pool worker: rebuild the cell, redo the golden pass, run one chunk.
+
+    The golden pass is recomputed per worker (cheap relative to a chunk)
+    so every ``detect`` comparison happens against locally materialized
+    V4 singletons; only the small (index, detection block, counters)
+    result crosses the pipe back.
+    """
+    (
+        index,
+        cell_text,
+        technology,
+        params,
+        policy,
+        port,
+        defects,
+        delay_detection,
+        slow_factor,
+        keep_responses,
+    ) = payload
+    from repro.spice.parser import parse_cell
+
+    cell = parse_cell(cell_text, technology=technology)
+    words = make_stimuli(cell.n_inputs, policy)
+    golden_run = _GoldenRun(cell, params, words, port, delay_detection)
+    detection, responses, counters = _simulate_defect_rows(
+        cell,
+        params,
+        words,
+        port,
+        defects,
+        golden_run,
+        delay_detection,
+        slow_factor,
+        keep_responses,
+    )
+    # The duplicated golden pass is pool overhead, not simulation work the
+    # serial flow would have paid; account it separately.
+    counters["golden_solves"] = golden_run.solve_count
+    return index, detection, responses, counters
+
+
+def _effective_workers(parallelism: Optional[int], n_defects: int) -> int:
+    """Clamp the requested worker count to something that can pay off."""
+    if parallelism is None or parallelism <= 1:
+        return 1
+    if multiprocessing.current_process().daemon:
+        # Pool workers cannot fork children (cell-level fan-out already
+        # claimed the process budget); fall back to the serial kernel.
+        return 1
+    if n_defects < 2 * MIN_DEFECTS_PER_WORKER:
+        return 1
+    return min(parallelism, max(1, n_defects // MIN_DEFECTS_PER_WORKER))
+
+
+def _chunk_bounds(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Near-equal contiguous [start, stop) chunks preserving order."""
+    base, extra = divmod(n_items, n_chunks)
+    bounds = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + base + (1 if i < extra else 0)
+        if stop > start:
+            bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
 def generate_ca_model(
     cell: CellNetlist,
     params: Optional[ElectricalParams] = None,
@@ -57,6 +243,7 @@ def generate_ca_model(
     slow_factor: float = DEFAULT_SLOW_FACTOR,
     output: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    parallelism: Optional[int] = None,
 ) -> CAModel:
     """Run the conventional generation flow for one cell.
 
@@ -80,7 +267,12 @@ def generate_ca_model(
         Cell output to characterize (first output by default); use
         :func:`generate_multi` for all outputs of a multi-output cell.
     progress:
-        Optional callback ``(done, total)`` per defect.
+        Optional callback ``(done, total)`` per defect (per chunk when
+        running in parallel).
+    parallelism:
+        Worker processes for the defect loop (``None``/``1`` = serial).
+        The detection table is byte-identical to the serial run; small
+        universes fall back to the serial kernel automatically.
     """
     started = time.perf_counter()
     if params is None:
@@ -88,50 +280,94 @@ def generate_ca_model(
     port = output or cell.outputs[0]
     if port not in cell.outputs:
         raise ValueError(f"{port!r} is not an output of {cell.name}")
-    words = make_stimuli(cell.n_inputs, resolve_policy(cell.n_inputs, policy))
+    resolved = resolve_policy(cell.n_inputs, policy)
+    words = make_stimuli(cell.n_inputs, resolved)
     defects = list(universe) if universe is not None else default_universe(cell)
 
-    golden_sim = CellSimulator(cell, params=params)
-    golden = [golden_sim.output_response(w, output=port) for w in words]
-    transition_cols = [
-        col for col, response in enumerate(golden) if response.is_dynamic
-    ]
-    golden_resistance = {}
-    if delay_detection:
-        for col in transition_cols:
-            golden_resistance[col] = golden_sim.output_drive_resistance(
-                words[col], output=port
+    golden_run = _GoldenRun(cell, params, words, port, delay_detection)
+    golden_seconds = time.perf_counter() - started
+
+    workers = _effective_workers(parallelism, len(defects))
+    defect_started = time.perf_counter()
+    merge_seconds = 0.0
+
+    if workers <= 1:
+        detection, responses, counters = _simulate_defect_rows(
+            cell,
+            params,
+            words,
+            port,
+            defects,
+            golden_run,
+            delay_detection,
+            slow_factor,
+            keep_responses,
+            progress=progress,
+        )
+        defect_seconds = time.perf_counter() - defect_started
+        workers = 1
+    else:
+        from repro.spice.writer import write_cell
+
+        cell_text = write_cell(cell)
+        bounds = _chunk_bounds(len(defects), workers)
+        payloads = [
+            (
+                i,
+                cell_text,
+                cell.technology,
+                params,
+                resolved,
+                port,
+                defects[start:stop],
+                delay_detection,
+                slow_factor,
+                keep_responses,
             )
-
-    detection = np.zeros((len(defects), len(words)), dtype=np.int8)
-    responses: Optional[List[List[V4]]] = [] if keep_responses else None
-    simulation_count = len(words)  # the golden pass
-
-    for row, defect in enumerate(defects):
-        effect = defect.effect(cell, params.short_resistance)
-        if effect.benign or effect.is_golden:
-            if responses is not None:
-                responses.append(list(golden))
+            for i, (start, stop) in enumerate(bounds)
+        ]
+        blocks: List[Optional[np.ndarray]] = [None] * len(bounds)
+        chunk_responses: List[Optional[List[List[V4]]]] = [None] * len(bounds)
+        counters = {"simulated": 0, "skipped": 0, "solves": 0, "cache_hits": 0}
+        done = 0
+        with multiprocessing.Pool(processes=len(bounds)) as pool:
+            for index, block, block_responses, chunk_counters in (
+                pool.imap_unordered(_defect_chunk_worker, payloads)
+            ):
+                blocks[index] = block
+                chunk_responses[index] = block_responses
+                for key in ("simulated", "skipped", "solves", "cache_hits"):
+                    counters[key] += chunk_counters[key]
+                counters["solves"] += chunk_counters.get("golden_solves", 0)
+                done += len(block)
+                if progress is not None:
+                    progress(done, len(defects))
+        defect_seconds = time.perf_counter() - defect_started
+        merge_started = time.perf_counter()
+        detection = np.vstack(blocks)
+        if keep_responses:
+            responses = [row for chunk in chunk_responses for row in chunk]
         else:
-            sim = CellSimulator(cell, params=params, effect=effect)
-            row_responses: List[V4] = []
-            for col, word in enumerate(words):
-                response = sim.output_response(word, output=port)
-                detection[row, col] = detect(golden[col], response)
-                row_responses.append(response)
-            if delay_detection:
-                for col in transition_cols:
-                    if detection[row, col] or row_responses[col] is not golden[col]:
-                        continue
-                    reference = golden_resistance[col]
-                    measured = sim.output_drive_resistance(words[col], output=port)
-                    if measured > slow_factor * reference:
-                        detection[row, col] = 1
-            simulation_count += len(words)
-            if responses is not None:
-                responses.append(row_responses)
-        if progress is not None:
-            progress(row + 1, len(defects))
+            responses = None
+        merge_seconds = time.perf_counter() - merge_started
+        workers = len(bounds)
+
+    # Same accounting formula as the serial flow (one golden pass plus one
+    # full stimulus sweep per simulated defect), so serial and parallel
+    # runs of the same cell report the same simulation_count.
+    simulation_count = len(words) * (1 + counters["simulated"])
+    total_seconds = time.perf_counter() - started
+    stats = GenerationStats(
+        workers=workers,
+        solves=counters["solves"] + golden_run.solve_count,
+        cache_hits=counters["cache_hits"] + golden_run.cache_hit_count,
+        simulated_defects=counters["simulated"],
+        skipped_defects=counters["skipped"],
+        golden_seconds=golden_seconds,
+        defect_seconds=defect_seconds,
+        merge_seconds=merge_seconds,
+        total_seconds=total_seconds,
+    )
 
     return CAModel(
         cell_name=cell.name,
@@ -139,12 +375,13 @@ def generate_ca_model(
         inputs=tuple(cell.inputs),
         output=port,
         stimuli=words,
-        golden=golden,
+        golden=golden_run.golden,
         defects=defects,
         detection=detection,
         responses=responses,
         simulation_count=simulation_count,
-        generation_seconds=time.perf_counter() - started,
+        generation_seconds=total_seconds,
+        stats=stats,
     )
 
 
@@ -157,7 +394,9 @@ def generate_multi(
     """Characterize every output of a multi-output cell.
 
     Industrial CA flows keep one detection table per output; this wrapper
-    returns ``{output port: CAModel}``.  (Each output currently re-runs
+    returns ``{output port: CAModel}``.  Extra keyword arguments —
+    including ``parallelism`` — are forwarded to
+    :func:`generate_ca_model` per output.  (Each output currently re-runs
     the defect simulations; the per-cell phase caches keep the overhead
     modest for the handful of multi-output cells.)
     """

@@ -5,26 +5,53 @@ enough for library-scale caches (detection rows are stored as '0'/'1'
 strings).  This stands in for the commercial tools' proprietary CA model
 file formats the paper's flow parses ("the output information is then
 parsed to the desired file format", Section V.C).
+
+Versioning rules: optional additive keys (e.g. ``stats``) do not bump
+``FORMAT_VERSION`` — readers ignore keys they do not know and tolerate
+missing optional ones; any change to the meaning of existing keys does.
+Writes go through a same-directory temporary file and ``os.replace`` so
+a crash (or a concurrent writer) can never leave a torn file behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Union
 
 import numpy as np
 
 from repro.camodel.model import CAModel
+from repro.camodel.stats import GenerationStats
 from repro.defects.model import Defect
 from repro.logic.fourval import V4, parse_word, word_to_string
 
 FORMAT_VERSION = 1
 
 
+def _write_json_atomic(path: Path, payload: Dict) -> None:
+    """Serialize *payload* to *path* without ever exposing a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def model_to_dict(model: CAModel) -> Dict:
     """Serializable representation of a CA model."""
-    return {
+    out = {
         "format": FORMAT_VERSION,
         "cell": model.cell_name,
         "technology": model.technology,
@@ -42,6 +69,9 @@ def model_to_dict(model: CAModel) -> Dict:
         "simulation_count": model.simulation_count,
         "generation_seconds": model.generation_seconds,
     }
+    if model.stats is not None:
+        out["stats"] = model.stats.to_dict()
+    return out
 
 
 def model_from_dict(data: Dict) -> CAModel:
@@ -58,6 +88,9 @@ def model_from_dict(data: Dict) -> CAModel:
     )
     if detection.size == 0:
         detection = detection.reshape(len(defects), len(stimuli))
+    stats = None
+    if isinstance(data.get("stats"), dict):
+        stats = GenerationStats.from_dict(data["stats"])
     return CAModel(
         cell_name=data["cell"],
         technology=data.get("technology", ""),
@@ -69,14 +102,14 @@ def model_from_dict(data: Dict) -> CAModel:
         detection=detection,
         simulation_count=int(data.get("simulation_count", 0)),
         generation_seconds=float(data.get("generation_seconds", 0.0)),
+        stats=stats,
     )
 
 
 def save_model(model: CAModel, path: Union[str, Path]) -> Path:
-    """Write one CA model to *path* (JSON)."""
+    """Write one CA model to *path* (JSON, atomic)."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(model_to_dict(model)))
+    _write_json_atomic(path, model_to_dict(model))
     return path
 
 
@@ -86,11 +119,15 @@ def load_model(path: Union[str, Path]) -> CAModel:
 
 
 def save_models(models: List[CAModel], path: Union[str, Path]) -> Path:
-    """Write a list of CA models into one file (a 'CA model library')."""
+    """Write a list of CA models into one file (a 'CA model library').
+
+    The write is atomic (temp file + ``os.replace``): a crash mid-write
+    or two concurrent writers can never leave a torn library file that
+    poisons every later cache load.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {"format": FORMAT_VERSION, "models": [model_to_dict(m) for m in models]}
-    path.write_text(json.dumps(payload))
+    _write_json_atomic(path, payload)
     return path
 
 

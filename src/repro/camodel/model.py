@@ -10,7 +10,7 @@ of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from repro.defects.equivalence import EquivalenceClass, equivalence_classes
 from repro.defects.model import Defect
 from repro.logic.fourval import V4, word_to_string
 from repro.camodel.stimuli import Word, is_dynamic_word
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.camodel.stats import GenerationStats
 
 STATIC = "static"
 DYNAMIC = "dynamic"
@@ -43,6 +46,8 @@ class CAModel:
     #: accounting: electrical simulations the generation spent
     simulation_count: int = 0
     generation_seconds: float = 0.0
+    #: detailed generation cost accounting (solves, caches, stage timings)
+    stats: Optional["GenerationStats"] = None
 
     def __post_init__(self) -> None:
         self.detection = np.asarray(self.detection, dtype=np.int8)
@@ -116,7 +121,7 @@ class CAModel:
     def summary(self) -> Dict[str, object]:
         """Compact description used by reports and examples."""
         classes = self.equivalence()
-        return {
+        out = {
             "cell": self.cell_name,
             "technology": self.technology,
             "inputs": len(self.inputs),
@@ -127,3 +132,6 @@ class CAModel:
             "types": self.type_counts(),
             "simulations": self.simulation_count,
         }
+        if self.stats is not None:
+            out["generation"] = self.stats.summary()
+        return out

@@ -8,13 +8,74 @@ complexity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.camodel.model import CAModel, DYNAMIC, STATIC, UNDETECTED
 from repro.spice.netlist import CellNetlist
+
+
+@dataclass
+class GenerationStats:
+    """Cost accounting of one :func:`~repro.camodel.generate.generate_ca_model` run.
+
+    Extends the engine's per-simulator ``solve_count`` into a whole-run
+    record: how many solver phases actually ran, how many were served
+    from the memoization caches, how the wall time split across the
+    golden pass / defect loop / merge, and how many worker processes the
+    defect loop used.  Attached to :class:`~repro.camodel.model.CAModel`
+    and serialized with it.
+    """
+
+    #: worker processes used for the defect loop (1 = serial)
+    workers: int = 1
+    #: solver phase solves actually performed (golden pass included)
+    solves: int = 0
+    #: memoized phase lookups answered without a solve
+    cache_hits: int = 0
+    #: defects that went through the simulator
+    simulated_defects: int = 0
+    #: benign / golden-equivalent defects short-circuited before any solver
+    skipped_defects: int = 0
+    #: wall time of the golden pass (stimuli + reference resistances)
+    golden_seconds: float = 0.0
+    #: wall time of the per-defect characterization loop
+    defect_seconds: float = 0.0
+    #: wall time spent merging parallel chunk results (0 when serial)
+    merge_seconds: float = 0.0
+    #: end-to-end wall time of the generation call
+    total_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of phase lookups served from a cache."""
+        lookups = self.solves + self.cache_hits
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "GenerationStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def summary(self) -> Dict[str, object]:
+        """Compact description used by reports and the CLI."""
+        return {
+            "workers": self.workers,
+            "solves": self.solves,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "simulated_defects": self.simulated_defects,
+            "skipped_defects": self.skipped_defects,
+            "golden_seconds": round(self.golden_seconds, 4),
+            "defect_seconds": round(self.defect_seconds, 4),
+            "merge_seconds": round(self.merge_seconds, 4),
+            "total_seconds": round(self.total_seconds, 4),
+        }
 
 
 @dataclass

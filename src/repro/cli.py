@@ -80,11 +80,36 @@ def _cell_from_name(tech, cell_name: str):
 
 def cmd_generate(args) -> int:
     cells = _load_cells(args.netlist)
-    models = []
-    for cell in cells:
-        model = generate_ca_model(cell, policy=args.policy)
-        models.append(model)
+    if args.processes and args.processes > 1:
+        from repro.camodel import generate_library
+
+        by_name = generate_library(
+            cells,
+            policy=args.policy,
+            processes=args.processes,
+            parallelism=args.parallelism,
+        )
+        models = [by_name[cell.name] for cell in cells]
+    else:
+        models = [
+            generate_ca_model(
+                cell, policy=args.policy, parallelism=args.parallelism
+            )
+            for cell in cells
+        ]
+    for cell, model in zip(cells, models):
         print(f"{cell.name}: {model.summary()}")
+        if args.stats and model.stats is not None:
+            stats = model.stats
+            print(
+                f"  generation: workers={stats.workers} solves={stats.solves} "
+                f"cache_hits={stats.cache_hits} "
+                f"(hit rate {stats.cache_hit_rate:.1%}), "
+                f"golden {stats.golden_seconds:.3f}s + "
+                f"defects {stats.defect_seconds:.3f}s + "
+                f"merge {stats.merge_seconds:.3f}s "
+                f"= {stats.total_seconds:.3f}s"
+            )
     if args.output:
         if len(models) == 1:
             save_model(models[0], args.output)
@@ -186,6 +211,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("netlist")
     p.add_argument("-o", "--output")
     p.add_argument("--policy", default="auto")
+    p.add_argument(
+        "-j",
+        "--parallelism",
+        type=int,
+        default=None,
+        help="worker processes for the per-defect simulation loop of each cell",
+    )
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes across cells (alternative to -j for many small cells)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-cell generation cost accounting (solves, caches, timings)",
+    )
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("rename", help="canonical transistor renaming")

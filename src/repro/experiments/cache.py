@@ -1,15 +1,22 @@
 """Disk cache of generated CA model libraries.
 
 Conventional generation is the expensive step (it is the very problem the
-paper attacks), so experiment drivers generate each (technology, preset)
-library once and reuse the CA models from disk afterwards.  Cache entries
-are invalidated by a version tag that changes whenever the simulator or
-defect semantics change.
+paper attacks), so experiment drivers generate each (technology, preset,
+policy) library once and reuse the CA models from disk afterwards.  Cache
+entries are invalidated by a version tag that changes whenever the
+simulator or defect semantics change; the stimulus policy is part of the
+file name, so models generated under different policies can never be
+confused for one another.  Writes go through the atomic
+:func:`~repro.camodel.io.save_models` (temp file + ``os.replace``), so a
+crash or two concurrent runs cannot leave a torn file that poisons every
+later run; an unreadable cache file is treated as absent and regenerated.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -31,9 +38,30 @@ DEFAULT_CACHE_DIR = Path(
 DEFAULT_SCALE = os.environ.get("REPRO_SCALE", "bench")
 
 
-def cache_path(tech_name: str, preset: str, cache_dir: Optional[Path] = None) -> Path:
+def cache_path(
+    tech_name: str,
+    preset: str,
+    cache_dir: Optional[Path] = None,
+    policy: str = "auto",
+) -> Path:
     directory = Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR
-    return directory / f"camodels-{tech_name}-{preset}-{CACHE_VERSION}.json"
+    return directory / (
+        f"camodels-{tech_name}-{preset}-{policy}-{CACHE_VERSION}.json"
+    )
+
+
+def _load_cached_models(path: Path) -> List[CAModel]:
+    """Load a cache file, treating any unreadable content as a miss."""
+    if not path.exists():
+        return []
+    try:
+        return load_models(path)
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(
+            f"warning: ignoring unreadable CA model cache {path}: {exc}",
+            file=sys.stderr,
+        )
+        return []
 
 
 def library_with_models(
@@ -41,14 +69,19 @@ def library_with_models(
     preset: str = DEFAULT_SCALE,
     cache_dir: Optional[Path] = None,
     verbose: bool = False,
+    policy: str = "auto",
+    parallelism: Optional[int] = None,
 ) -> Tuple[Library, Dict[str, CAModel]]:
-    """Build a preset library and its CA models (cached on disk)."""
+    """Build a preset library and its CA models (cached on disk).
+
+    ``parallelism`` fans the per-defect simulation loop of each generated
+    cell out over worker processes (cache misses only; hits are pure IO).
+    """
     library = build_preset(tech_name, preset)
-    path = cache_path(tech_name, preset, cache_dir)
+    path = cache_path(tech_name, preset, cache_dir, policy=policy)
     models: Dict[str, CAModel] = {}
-    if path.exists():
-        for model in load_models(path):
-            models[model.cell_name] = model
+    for model in _load_cached_models(path):
+        models[model.cell_name] = model
     missing = [cell for cell in library if cell.name not in models]
     if missing:
         params = get_technology(tech_name).electrical
@@ -58,7 +91,9 @@ def library_with_models(
                     f"[{tech_name}/{preset}] generating {cell.name} "
                     f"({i + 1}/{len(missing)})"
                 )
-            models[cell.name] = generate_ca_model(cell, params=params)
+            models[cell.name] = generate_ca_model(
+                cell, params=params, policy=policy, parallelism=parallelism
+            )
         save_models(
             [models[cell.name] for cell in library if cell.name in models], path
         )

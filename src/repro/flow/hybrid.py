@@ -52,7 +52,9 @@ class CellDecision:
     route: str  # 'ml' or 'simulate'
     seconds: float
     model: Optional[CAModel] = None
-    #: accuracy against a reference model, when one was provided
+    #: ML prediction accuracy against a reference model, when one was
+    #: provided; always ``None`` on the simulation route (the simulated
+    #: model *is* the reference)
     accuracy: Optional[float] = None
 
 
@@ -84,7 +86,14 @@ class HybridReport:
             {f"match_{k}": round(v, 4) for k, v in self.fractions().items()}
         )
         out.update(self.ledger.summary())
-        accuracies = [d.accuracy for d in self.decisions if d.accuracy is not None]
+        # Only ML-routed cells carry a prediction accuracy; simulated cells
+        # ARE the reference, and averaging them in (as trivially perfect
+        # scores) would overstate the classifier's accuracy.
+        accuracies = [
+            d.accuracy
+            for d in self.decisions
+            if d.route == "ml" and d.accuracy is not None
+        ]
         if accuracies:
             out["ml_mean_accuracy"] = round(float(np.mean(accuracies)), 4)
         return out
@@ -189,6 +198,8 @@ class HybridFlow:
             )
             # Feedback: the simulated model supplements the training set.
             self._feedback(cell, model)
+            # No accuracy for simulated cells: the conventional flow is the
+            # reference, so a score here would always be a meaningless 1.0.
             decision = CellDecision(
                 cell_name=cell.name,
                 group_key=cell.group_key,
@@ -196,7 +207,7 @@ class HybridFlow:
                 route="simulate",
                 seconds=seconds,
                 model=model,
-                accuracy=1.0 if reference is not None else None,
+                accuracy=None,
             )
         self.report.decisions.append(decision)
         return decision

@@ -70,7 +70,6 @@ class DecisionTreeClassifier:
 
     def _pack(self) -> None:
         """Flatten nodes into arrays for vectorized prediction."""
-        n = len(self._nodes)
         self._feature = np.array([node.feature for node in self._nodes])
         self._threshold = np.array([node.threshold for node in self._nodes])
         self._left = np.array([node.left for node in self._nodes])

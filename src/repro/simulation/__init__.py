@@ -1,6 +1,7 @@
 """Switch-level cell simulation (the SPICE substitute)."""
 
 from repro.simulation.switchgraph import (
+    CellTopology,
     DRIVER_RESISTANCE,
     DefectEffect,
     GOLDEN,
@@ -16,6 +17,7 @@ from repro.simulation.engine import (
 )
 
 __all__ = [
+    "CellTopology",
     "DefectEffect",
     "GOLDEN",
     "SwitchGraph",

@@ -29,6 +29,7 @@ from repro.library.technology import ElectricalParams
 from repro.logic.fourval import V4, final_phase, initial_phase
 from repro.simulation.solver import StaticSolver, X
 from repro.simulation.switchgraph import (
+    CellTopology,
     DRIVER_RESISTANCE,
     DefectEffect,
     GOLDEN,
@@ -52,12 +53,17 @@ class CellSimulator:
         params: Optional[ElectricalParams] = None,
         effect: DefectEffect = GOLDEN,
         driver_resistance: float = DRIVER_RESISTANCE,
+        topology: Optional[CellTopology] = None,
     ):
         self.cell = cell
         self.effect = effect
-        self.graph = SwitchGraph(
-            cell, params=params, effect=effect, driver_resistance=driver_resistance
-        )
+        if topology is not None:
+            self.graph = topology.graph(effect)
+        else:
+            self.graph = SwitchGraph(
+                cell, params=params, effect=effect,
+                driver_resistance=driver_resistance,
+            )
         self.solver = StaticSolver(self.graph)
         self._memoryless_cache: Dict[Tuple[int, ...], "SolveResult"] = {}
         self._phase_cache: Dict[PhaseKey, List[int]] = {}
@@ -67,9 +73,16 @@ class CellSimulator:
             for node, observable in enumerate(self.solver._observable)
             if observable
         ]
-        self._drive_cache: Dict[Tuple[int, int, int], float] = {}
+        # Keyed on (initial vector, final vector, output node) — the values
+        # the resistance actually depends on.  (Never key on id() of the
+        # solved code lists: ids of freed lists are recycled and alias.)
+        self._drive_cache: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...], int], float
+        ] = {}
         #: number of phase solves actually performed (cost accounting)
         self.solve_count = 0
+        #: memoized phase lookups served without a solve (cost accounting)
+        self.cache_hit_count = 0
 
     # ------------------------------------------------------------------
     def _memoryless(self, vector: Tuple[int, ...]):
@@ -79,6 +92,8 @@ class CellSimulator:
             result = self.solver.solve(vector, None)
             self.solve_count += 1
             self._memoryless_cache[vector] = result
+        else:
+            self.cache_hit_count += 1
         return result
 
     def _phase_with_codes(
@@ -104,6 +119,7 @@ class CellSimulator:
         key = (vector, obs)
         cached = self._phase_cache.get(key)
         if cached is not None:
+            self.cache_hit_count += 1
             return cached
         codes = self.solver.solve(vector, prev_codes).codes
         self.solve_count += 1
@@ -176,7 +192,6 @@ class CellSimulator:
         the transition from the previous settled state to the new one.
         """
         responses: List[V4] = []
-        prev_vector: Optional[Tuple[int, ...]] = None
         prev_codes: Optional[List[int]] = None
         out = self.graph.output
         for raw in vectors:
@@ -190,7 +205,6 @@ class CellSimulator:
                 responses.append(V4.from_phases(codes[out], codes[out]))
             else:
                 responses.append(V4.from_phases(prev_codes[out], codes[out]))
-            prev_vector = vector
             prev_codes = codes
         return responses
 
@@ -208,14 +222,16 @@ class CellSimulator:
         simulation would report as a slow, delay-detected defect.  Returns
         ``inf`` when the output is floating or unknown.
         """
+        first, second, _dynamic = self._split_word(word)
         codes1, codes2 = self.solve_word(word)
         out = self.graph.output if output is None else self.graph.net_index[output]
         level = codes2[out]
         if level not in (0, 1):
             return float("inf")
-        cache_key = (id(codes1), id(codes2), out)
+        cache_key = (first, second, out)
         cached = self._drive_cache.get(cache_key)
         if cached is not None:
+            self.cache_hit_count += 1
             return cached
         rail = self.graph.power if level == 1 else self.graph.ground
         resistance = self._effective_resistance(out, rail, codes1, codes2)

@@ -66,19 +66,25 @@ class DeviceRec:
     gate_open: bool = False
 
 
-class SwitchGraph:
-    """Indexed switch-level structure for one (cell, defect) pair."""
+class CellTopology:
+    """Per-cell structures shared by every (cell, defect) switch graph.
+
+    Defect characterization builds one :class:`SwitchGraph` per defect of
+    the same cell; the net ordering, index maps, rail/pin node ids and
+    device on-conductances are identical across the whole universe.  A
+    topology is built once per (cell, params, driver resistance) and
+    cheaply specialized per :class:`DefectEffect` via :meth:`graph`.
+    """
 
     def __init__(
         self,
         cell: CellNetlist,
         params: Optional[ElectricalParams] = None,
-        effect: DefectEffect = GOLDEN,
         driver_resistance: float = DRIVER_RESISTANCE,
     ):
         self.cell = cell
         self.params = params or ElectricalParams()
-        self.effect = effect
+        self.driver_resistance = driver_resistance
 
         nets = sorted(cell.nets())
         self.net_index: Dict[str, int] = {n: i for i, n in enumerate(nets)}
@@ -95,9 +101,69 @@ class SwitchGraph:
         self.output = self.outputs[0]
         self.pin_nodes: List[int] = [self.net_index[p] for p in cell.inputs]
         self.source_nodes: List[int] = [self.source_index[p] for p in cell.inputs]
+        #: nodes with externally fixed voltage (rails + virtual sources)
+        self.fixed_nodes: List[int] = [self.power, self.ground] + self.source_nodes
+
+        #: per-transistor on-conductance (independent of any defect)
+        self.g_on: Dict[str, float] = {
+            t.name: 1.0 / self._ron(t) for t in cell.transistors
+        }
+        #: resistive driver edges shared by every specialization
+        g_drv = 1.0 / driver_resistance
+        self.driver_edges: List[Tuple[int, int, float]] = [
+            (self.source_index[pin], self.net_index[pin], g_drv)
+            for pin in cell.inputs
+        ]
+
+    def _ron(self, t: Transistor) -> float:
+        rsq = self.params.rsq_nmos if t.is_nmos else self.params.rsq_pmos
+        return rsq * t.l / t.w
+
+    def graph(self, effect: DefectEffect = GOLDEN) -> "SwitchGraph":
+        """Specialize the shared topology for one defect effect."""
+        return SwitchGraph(
+            self.cell,
+            params=self.params,
+            effect=effect,
+            driver_resistance=self.driver_resistance,
+            topology=self,
+        )
+
+
+class SwitchGraph:
+    """Indexed switch-level structure for one (cell, defect) pair."""
+
+    def __init__(
+        self,
+        cell: CellNetlist,
+        params: Optional[ElectricalParams] = None,
+        effect: DefectEffect = GOLDEN,
+        driver_resistance: float = DRIVER_RESISTANCE,
+        topology: Optional[CellTopology] = None,
+    ):
+        if topology is None:
+            topology = CellTopology(
+                cell, params=params, driver_resistance=driver_resistance
+            )
+        self.topology = topology
+        self.cell = topology.cell
+        self.params = topology.params
+        self.effect = effect
+
+        self.net_index = topology.net_index
+        self.source_index = topology.source_index
+        self.n_nodes = topology.n_nodes
+        self.net_names = topology.net_names
+        self.power = topology.power
+        self.ground = topology.ground
+        self.outputs = topology.outputs
+        self.output = topology.output
+        self.pin_nodes = topology.pin_nodes
+        self.source_nodes = topology.source_nodes
+        self.fixed_nodes = topology.fixed_nodes
 
         self.devices: List[DeviceRec] = []
-        for t in cell.transistors:
+        for t in self.cell.transistors:
             if t.name in effect.removed:
                 continue
             self.devices.append(
@@ -108,30 +174,20 @@ class SwitchGraph:
                     drain=self.net_index[t.drain],
                     gate=self.net_index[t.gate],
                     source=self.net_index[t.source],
-                    g_on=1.0 / self._ron(t),
+                    g_on=topology.g_on[t.name],
                     gate_open=t.name in effect.gate_open,
                 )
             )
 
         #: always-conducting resistive edges: (node_a, node_b, conductance)
-        self.static_edges: List[Tuple[int, int, float]] = []
-        g_drv = 1.0 / driver_resistance
-        for pin in cell.inputs:
-            self.static_edges.append(
-                (self.source_index[pin], self.net_index[pin], g_drv)
-            )
+        self.static_edges: List[Tuple[int, int, float]] = list(
+            topology.driver_edges
+        )
         for net_a, net_b, resistance in effect.bridges:
             a = self.net_index[net_a]
             b = self.net_index[net_b]
             if a != b:
                 self.static_edges.append((a, b, 1.0 / resistance))
-
-        #: nodes with externally fixed voltage (rails + virtual sources)
-        self.fixed_nodes: List[int] = [self.power, self.ground] + self.source_nodes
-
-    def _ron(self, t: Transistor) -> float:
-        rsq = self.params.rsq_nmos if t.is_nmos else self.params.rsq_pmos
-        return rsq * t.l / t.w
 
     def fixed_values(self, input_codes: Sequence[int]) -> Dict[int, int]:
         """Fixed logic values: rails plus the given per-pin codes."""

@@ -37,7 +37,6 @@ def to_verilog(cell: CellNetlist) -> str:
     switch-level behaviour.
     """
     rename: Dict[str, str] = {net: _identifier(net) for net in cell.nets()}
-    ports = [rename[p] for p in cell.inputs] + [rename[p] for p in cell.outputs]
     lines: List[str] = []
     lines.append(f"// generated from cell {cell.name}")
     lines.append(f"module {_identifier(cell.name)} (")

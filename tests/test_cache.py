@@ -32,3 +32,39 @@ class TestCache:
         payload = json.loads(cache_path("soi28", "tiny", tmp_path).read_text())
         assert payload["format"] == 1
         assert payload["models"]
+
+    def test_cache_key_includes_policy(self, tmp_path):
+        static = cache_path("soi28", "tiny", tmp_path, policy="static")
+        auto = cache_path("soi28", "tiny", tmp_path, policy="auto")
+        assert static != auto
+        assert "static" in static.name and "auto" in auto.name
+
+    def test_policies_cached_separately(self, tmp_path):
+        _lib, auto_models = library_with_models(
+            "soi28", "tiny", cache_dir=tmp_path
+        )
+        _lib, static_models = library_with_models(
+            "soi28", "tiny", cache_dir=tmp_path, policy="static"
+        )
+        assert cache_path("soi28", "tiny", tmp_path, policy="auto").exists()
+        assert cache_path("soi28", "tiny", tmp_path, policy="static").exists()
+        name = next(iter(auto_models))
+        # static stimuli are a strict subset of the auto (exhaustive) set
+        assert static_models[name].n_stimuli < auto_models[name].n_stimuli
+
+    def test_corrupt_cache_regenerated(self, tmp_path, capsys):
+        library_with_models("soi28", "tiny", cache_dir=tmp_path)
+        path = cache_path("soi28", "tiny", tmp_path)
+        path.write_text('{"format": 1, "models": [{"truncated')  # torn file
+        library, models = library_with_models("soi28", "tiny", cache_dir=tmp_path)
+        assert len(models) == len(library)
+        assert "ignoring unreadable CA model cache" in capsys.readouterr().err
+        # and the rewritten file is whole again
+        import json
+
+        assert json.loads(path.read_text())["models"]
+
+    def test_writes_leave_no_temp_files(self, tmp_path):
+        library_with_models("soi28", "tiny", cache_dir=tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []

@@ -144,3 +144,47 @@ class TestDriveResistance:
             cell, SOI28.electrical, DefectEffect(removed=frozenset({nmos.name}))
         )
         assert str(defective.output_response(parse_word("R"))) == "F"
+
+
+class TestDriveCacheKeying:
+    """The drive cache must key on stimulus vectors, never on id() of the
+    solved code lists (recycled ids of freed lists silently alias)."""
+
+    def test_distinct_words_get_distinct_entries(self):
+        cell = build_cell(SOI28, "INV", 1)
+        sim = golden_simulator(cell, SOI28.electrical)
+        # NMOS and PMOS on-resistances differ, so the two transitions must
+        # never share a cache entry.
+        r_fall = sim.output_drive_resistance(parse_word("R"))
+        r_rise = sim.output_drive_resistance(parse_word("F"))
+        assert r_fall != r_rise
+        assert len(sim._drive_cache) == 2
+        for key in sim._drive_cache:
+            first, second, out = key
+            assert isinstance(first, tuple) and isinstance(second, tuple)
+            assert isinstance(out, int)
+
+    def test_repeated_queries_are_stable_across_gc_churn(self):
+        import gc
+
+        cell = build_cell(SOI28, "NAND2", 1)
+        sim = golden_simulator(cell, SOI28.electrical)
+        words = [parse_word(t) for t in ("1R", "R1", "11", "F1", "1F")]
+        expected = {t: sim.output_drive_resistance(w) for t, w in zip(
+            ("1R", "R1", "11", "F1", "1F"), words
+        )}
+        # Churn the allocator so freed list ids get recycled, then re-query
+        # in a different order; an id()-keyed cache aliases here.
+        for _ in range(50):
+            gc.collect()
+            [list(range(64)) for _ in range(64)]
+        for text, word in reversed(list(zip(expected, words))):
+            assert sim.output_drive_resistance(word) == expected[text]
+
+    def test_cache_hit_counted(self, nand2):
+        sim = golden_simulator(nand2, SOI28.electrical)
+        word = parse_word("1R")
+        sim.output_drive_resistance(word)
+        before = sim.cache_hit_count
+        sim.output_drive_resistance(word)
+        assert sim.cache_hit_count > before

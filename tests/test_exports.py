@@ -50,7 +50,6 @@ class TestUDFM:
             tuple(w): i for i, w in enumerate(nand2_model.stimuli)
         }
         for fault, tests in list(faults.items())[:6]:
-            defect = nand2_model.defects[nand2_model.defect_index(fault)]
             for conditions in tests:
                 word = tuple(
                     V4.from_string(conditions[pin]) for pin in nand2_model.inputs

@@ -173,3 +173,32 @@ class TestHybridFlow:
         assert fractions[IDENTICAL] == 1.0
         summary = report.summary()
         assert summary["cells"] == 1
+
+    def test_simulated_cells_have_no_accuracy(self, train_samples):
+        """Regression: the simulation route used to report accuracy=1.0
+        whenever a reference was given, inflating ml_mean_accuracy."""
+        flow = HybridFlow(train_samples, params=C40.electrical)
+        cell = build_cell(C40, "XOR2", 1)  # not in the training set
+        reference = generate_ca_model(cell, params=C40.electrical)
+        decision = flow.generate(cell, reference=reference)
+        assert decision.route == "simulate"
+        assert decision.accuracy is None
+        # No ML-routed cell was scored, so the aggregate must be absent —
+        # not a fake perfect 1.0.
+        assert "ml_mean_accuracy" not in flow.report.summary()
+
+    def test_ml_mean_accuracy_excludes_simulated_route(self, train_samples):
+        flow = HybridFlow(train_samples, params=C40.electrical)
+        ml_cell = build_cell(C40, "NAND2", 1)
+        sim_cell = build_cell(C40, "XOR2", 1)
+        references = {
+            c.name: generate_ca_model(c, params=C40.electrical)
+            for c in (ml_cell, sim_cell)
+        }
+        report = flow.run([ml_cell, sim_cell], references=references)
+        by_route = {d.route: d for d in report.decisions}
+        assert by_route["ml"].accuracy is not None
+        assert by_route["simulate"].accuracy is None
+        assert report.summary()["ml_mean_accuracy"] == round(
+            by_route["ml"].accuracy, 4
+        )

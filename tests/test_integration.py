@@ -40,7 +40,6 @@ class TestTextToPrediction:
         model = matrix.to_model(predicted)
 
         reference = generate_ca_model(c28_cell, params=C28.electrical)
-        ref_matrix = training_matrix(c28_cell, reference, C28.electrical)
         # align rows by (defect, stimulus) since enumeration matches
         assert model.detection.shape == reference.detection.shape
         agreement = (model.detection == reference.detection).mean()
