@@ -1,0 +1,88 @@
+"""Instrumentation overhead bench for the repro.obs subsystem.
+
+Tracing off is the default and must cost nothing measurable; tracing on
+buffers a handful of spans per cell plus per-chunk counter merges, so the
+acceptance bar is <5% slowdown on the parallel-generation bench.  Both
+numbers land in the benchmark JSON via ``extra_info``.
+"""
+
+import time
+
+from repro import obs
+from repro.camodel import generate_ca_model
+from repro.library import SOI28, build_cell
+
+#: same cell as test_bench_parallel: the largest of the bench suite
+LARGEST = ("AOI22", 1)
+
+WORKERS = 4
+ROUNDS = 3
+
+
+def _best_seconds(run, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_tracing_overhead_parallel(benchmark):
+    """Parallel generation with spans + metrics on vs. off: <5% overhead."""
+    cell = build_cell(SOI28, *LARGEST)
+
+    def plain():
+        return generate_ca_model(
+            cell, params=SOI28.electrical, parallelism=WORKERS
+        )
+
+    def traced():
+        with obs.scoped(tracer=obs.Tracer(enabled=True), metrics=obs.Metrics()):
+            return generate_ca_model(
+                cell, params=SOI28.electrical, parallelism=WORKERS
+            )
+
+    plain()  # warm caches (fork, imports) outside the measured window
+    base_seconds = _best_seconds(plain)
+    traced_seconds = _best_seconds(traced)
+    overhead = traced_seconds / base_seconds - 1.0
+
+    benchmark.extra_info["base_seconds"] = round(base_seconds, 3)
+    benchmark.extra_info["traced_seconds"] = round(traced_seconds, 3)
+    benchmark.extra_info["overhead"] = round(overhead, 4)
+    print(
+        f"\n{cell.name}: plain {base_seconds:.3f}s, traced {traced_seconds:.3f}s "
+        f"-> {overhead:+.2%} overhead"
+    )
+
+    # one timed round for the benchmark history
+    benchmark.pedantic(traced, rounds=1, iterations=1)
+    assert overhead < 0.05
+
+    # and the traced run actually produced the merged span tree
+    with obs.scoped(tracer=obs.Tracer(enabled=True)) as state:
+        generate_ca_model(cell, params=SOI28.electrical, parallelism=WORKERS)
+        spans = state.tracer.export()
+    assert sum(1 for s in spans if s["name"] == "generate.chunk") == WORKERS
+    assert obs.orphan_parents(spans) == []
+
+
+def test_disabled_tracer_costs_nothing(benchmark):
+    """Tracing off (the default): a null span is a dict lookup and a branch."""
+    tracer = obs.Tracer(enabled=False)
+
+    def spin(n=100_000):
+        for _ in range(n):
+            with tracer.span("hot.path", key=1):
+                pass
+
+    seconds = benchmark.pedantic(
+        lambda: _best_seconds(spin, rounds=3), rounds=1, iterations=1
+    )
+    per_call = seconds / 100_000
+    benchmark.extra_info["ns_per_disabled_span"] = round(per_call * 1e9)
+    print(f"\ndisabled span: {per_call * 1e9:.0f} ns/call")
+    # generous bound: even a slow box does a no-op context manager in <5us
+    assert per_call < 5e-6
+    assert tracer.export() == []

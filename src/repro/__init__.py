@@ -22,6 +22,9 @@ Subpackages
     Structural analysis, the hybrid generation flow, the cost model.
 ``repro.experiments``
     One regenerator per paper table / figure.
+``repro.obs``
+    Run-scoped tracing, metrics and structured event logging
+    (dependency-free; off by default).
 """
 
 __version__ = "1.0.0"
@@ -37,4 +40,5 @@ __all__ = [
     "learning",
     "flow",
     "experiments",
+    "obs",
 ]

@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.camatrix.matrix import CAMatrix, build_matrix
 from repro.camodel.model import CAModel
 from repro.library.technology import ElectricalParams
@@ -26,7 +27,8 @@ def training_matrix(
     params: Optional[ElectricalParams] = None,
 ) -> CAMatrix:
     """Labelled CA-matrix from an existing CA model (training path)."""
-    return build_matrix(cell, model=model, params=params)
+    with obs.tracer().span("camatrix.build", cell=cell.name, labelled=True):
+        return build_matrix(cell, model=model, params=params)
 
 
 def inference_matrix(
@@ -35,7 +37,8 @@ def inference_matrix(
     policy: str = "auto",
 ) -> CAMatrix:
     """Unlabelled CA-matrix for a cell to characterize (inference path)."""
-    return build_matrix(cell, model=None, params=params, policy=policy)
+    with obs.tracer().span("camatrix.build", cell=cell.name, labelled=False):
+        return build_matrix(cell, model=None, params=params, policy=policy)
 
 
 def group_matrices(

@@ -20,6 +20,7 @@ from __future__ import annotations
 import multiprocessing
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.camodel.generate import DEFAULT_SLOW_FACTOR, generate_ca_model
 from repro.camodel.io import model_from_dict, model_to_dict
 from repro.camodel.model import CAModel
@@ -29,14 +30,31 @@ from repro.spice.netlist import CellNetlist
 from repro.spice.writer import write_cell
 
 
-def _characterize_worker(payload: Tuple[str, str, str, Dict]) -> Tuple[str, Dict]:
-    """Worker: parse the cell text, generate, return a serialized model."""
-    cell_text, technology, policy, kwargs = payload
+def _characterize_worker(payload):
+    """Worker: parse the cell text, generate, return a serialized model.
+
+    Runs under a fresh obs scope: the span buffer and metric snapshot ride
+    back with the model so the parent can merge them into one coherent
+    run-level trace and registry.
+    """
+    cell_text, technology, policy, kwargs, trace_enabled = payload
     from repro.spice.parser import parse_cell
 
-    cell = parse_cell(cell_text, technology=technology)
-    model = generate_ca_model(cell, policy=policy, **kwargs)
-    return cell.name, model_to_dict(model)
+    worker_tracer = obs.Tracer(enabled=trace_enabled)
+    worker_metrics = obs.Metrics()
+    with obs.scoped(
+        tracer=worker_tracer,
+        metrics=worker_metrics,
+        events=obs.EventLog(obs.NullSink()),
+    ):
+        cell = parse_cell(cell_text, technology=technology)
+        model = generate_ca_model(cell, policy=policy, **kwargs)
+    return (
+        cell.name,
+        model_to_dict(model),
+        worker_tracer.export(),
+        worker_metrics.snapshot(),
+    )
 
 
 def generate_library(
@@ -75,21 +93,32 @@ def generate_library(
         delay_detection=delay_detection,
         slow_factor=slow_factor,
     )
+    tracer = obs.tracer()
+    registry = obs.metrics()
     if processes is None or processes <= 1:
-        return {
-            cell.name: generate_ca_model(
-                cell, policy=policy, parallelism=parallelism, **kwargs
-            )
-            for cell in cells
-        }
+        with tracer.span(
+            "camodel.generate_library", cells=len(cells), processes=1
+        ):
+            return {
+                cell.name: generate_ca_model(
+                    cell, policy=policy, parallelism=parallelism, **kwargs
+                )
+                for cell in cells
+            }
 
     payloads = [
-        (write_cell(cell), cell.technology, policy, kwargs) for cell in cells
+        (write_cell(cell), cell.technology, policy, kwargs, tracer.enabled)
+        for cell in cells
     ]
     out: Dict[str, CAModel] = {}
-    with multiprocessing.Pool(processes=processes) as pool:
-        for name, data in pool.imap_unordered(
-            _characterize_worker, payloads, chunksize=chunksize
-        ):
-            out[name] = model_from_dict(data)
+    with tracer.span(
+        "camodel.generate_library", cells=len(cells), processes=processes
+    ) as library_span:
+        with multiprocessing.Pool(processes=processes) as pool:
+            for name, data, spans, metric_snapshot in pool.imap_unordered(
+                _characterize_worker, payloads, chunksize=chunksize
+            ):
+                tracer.absorb(spans, parent_id=library_span.span_id)
+                registry.merge(metric_snapshot)
+                out[name] = model_from_dict(data)
     return out

@@ -32,8 +32,19 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.camodel.model import CAModel
-from repro.camodel.stats import GenerationStats
+from repro.camodel.stats import (
+    GenerationStats,
+    M_CACHE_HITS,
+    M_DEFECT_SECONDS,
+    M_GOLDEN_SECONDS,
+    M_MERGE_SECONDS,
+    M_SIMULATED,
+    M_SKIPPED,
+    M_SOLVES,
+    M_TOTAL_SECONDS,
+)
 from repro.camodel.stimuli import Word, stimuli as make_stimuli
 from repro.defects.model import Defect
 from repro.defects.universe import default_universe
@@ -155,8 +166,9 @@ def _simulate_defect_rows(
                     if measured > slow_factor * reference:
                         detection[row, col] = 1
             counters["simulated"] += 1
-            counters["solves"] += sim.solve_count
-            counters["cache_hits"] += sim.cache_hit_count
+            sim_counters = sim.counters()
+            counters["solves"] += sim_counters["solves"]
+            counters["cache_hits"] += sim_counters["cache_hits"]
             if responses is not None:
                 responses.append(row_responses)
         if progress is not None:
@@ -170,8 +182,10 @@ def _defect_chunk_worker(payload):
 
     The golden pass is recomputed per worker (cheap relative to a chunk)
     so every ``detect`` comparison happens against locally materialized
-    V4 singletons; only the small (index, detection block, counters)
-    result crosses the pipe back.
+    V4 singletons; only the small (index, detection block, counters,
+    spans) result crosses the pipe back.  The worker runs under a fresh
+    obs scope — the forked copy of the parent tracer is never written —
+    and exports its span buffer for the parent to re-parent and merge.
     """
     (
         index,
@@ -184,27 +198,40 @@ def _defect_chunk_worker(payload):
         delay_detection,
         slow_factor,
         keep_responses,
+        trace_enabled,
     ) = payload
     from repro.spice.parser import parse_cell
 
-    cell = parse_cell(cell_text, technology=technology)
-    words = make_stimuli(cell.n_inputs, policy)
-    golden_run = _GoldenRun(cell, params, words, port, delay_detection)
-    detection, responses, counters = _simulate_defect_rows(
-        cell,
-        params,
-        words,
-        port,
-        defects,
-        golden_run,
-        delay_detection,
-        slow_factor,
-        keep_responses,
-    )
+    worker_tracer = obs.Tracer(enabled=trace_enabled)
+    with obs.scoped(
+        tracer=worker_tracer,
+        metrics=obs.Metrics(),
+        events=obs.EventLog(obs.NullSink()),
+    ):
+        with worker_tracer.span(
+            "generate.chunk", chunk=index, defects=len(defects)
+        ):
+            cell = parse_cell(cell_text, technology=technology)
+            words = make_stimuli(cell.n_inputs, policy)
+            with worker_tracer.span("generate.golden", chunk=index):
+                golden_run = _GoldenRun(
+                    cell, params, words, port, delay_detection
+                )
+            detection, responses, counters = _simulate_defect_rows(
+                cell,
+                params,
+                words,
+                port,
+                defects,
+                golden_run,
+                delay_detection,
+                slow_factor,
+                keep_responses,
+            )
     # The duplicated golden pass is pool overhead, not simulation work the
     # serial flow would have paid; account it separately.
     counters["golden_solves"] = golden_run.solve_count
-    return index, detection, responses, counters
+    return index, detection, responses, counters, worker_tracer.export()
 
 
 def _effective_workers(parallelism: Optional[int], n_defects: int) -> int:
@@ -284,90 +311,118 @@ def generate_ca_model(
     words = make_stimuli(cell.n_inputs, resolved)
     defects = list(universe) if universe is not None else default_universe(cell)
 
-    golden_run = _GoldenRun(cell, params, words, port, delay_detection)
-    golden_seconds = time.perf_counter() - started
+    # All cost accounting goes through the obs metrics registry; the stats
+    # record attached to the model is derived from the registry delta at
+    # the end (single source of truth, see GenerationStats.from_metrics).
+    tracer = obs.tracer()
+    registry = obs.metrics()
+    checkpoint = registry.checkpoint()
 
-    workers = _effective_workers(parallelism, len(defects))
-    defect_started = time.perf_counter()
-    merge_seconds = 0.0
+    with tracer.span(
+        "camodel.generate",
+        cell=cell.name,
+        policy=resolved,
+        defects=len(defects),
+        stimuli=len(words),
+    ) as generate_span:
+        with tracer.span("generate.golden", cell=cell.name):
+            golden_run = _GoldenRun(cell, params, words, port, delay_detection)
+        golden_seconds = time.perf_counter() - started
+        registry.inc(M_GOLDEN_SECONDS, golden_seconds)
 
-    if workers <= 1:
-        detection, responses, counters = _simulate_defect_rows(
-            cell,
-            params,
-            words,
-            port,
-            defects,
-            golden_run,
-            delay_detection,
-            slow_factor,
-            keep_responses,
-            progress=progress,
-        )
-        defect_seconds = time.perf_counter() - defect_started
-        workers = 1
-    else:
-        from repro.spice.writer import write_cell
+        workers = _effective_workers(parallelism, len(defects))
+        defect_started = time.perf_counter()
+        merge_seconds = 0.0
 
-        cell_text = write_cell(cell)
-        bounds = _chunk_bounds(len(defects), workers)
-        payloads = [
-            (
-                i,
-                cell_text,
-                cell.technology,
-                params,
-                resolved,
-                port,
-                defects[start:stop],
-                delay_detection,
-                slow_factor,
-                keep_responses,
-            )
-            for i, (start, stop) in enumerate(bounds)
-        ]
-        blocks: List[Optional[np.ndarray]] = [None] * len(bounds)
-        chunk_responses: List[Optional[List[List[V4]]]] = [None] * len(bounds)
-        counters = {"simulated": 0, "skipped": 0, "solves": 0, "cache_hits": 0}
-        done = 0
-        with multiprocessing.Pool(processes=len(bounds)) as pool:
-            for index, block, block_responses, chunk_counters in (
-                pool.imap_unordered(_defect_chunk_worker, payloads)
-            ):
-                blocks[index] = block
-                chunk_responses[index] = block_responses
-                for key in ("simulated", "skipped", "solves", "cache_hits"):
-                    counters[key] += chunk_counters[key]
-                counters["solves"] += chunk_counters.get("golden_solves", 0)
-                done += len(block)
-                if progress is not None:
-                    progress(done, len(defects))
-        defect_seconds = time.perf_counter() - defect_started
-        merge_started = time.perf_counter()
-        detection = np.vstack(blocks)
-        if keep_responses:
-            responses = [row for chunk in chunk_responses for row in chunk]
+        if workers <= 1:
+            with tracer.span("generate.defects", workers=1):
+                detection, responses, counters = _simulate_defect_rows(
+                    cell,
+                    params,
+                    words,
+                    port,
+                    defects,
+                    golden_run,
+                    delay_detection,
+                    slow_factor,
+                    keep_responses,
+                    progress=progress,
+                )
+            defect_seconds = time.perf_counter() - defect_started
+            workers = 1
         else:
-            responses = None
-        merge_seconds = time.perf_counter() - merge_started
-        workers = len(bounds)
+            from repro.spice.writer import write_cell
 
-    # Same accounting formula as the serial flow (one golden pass plus one
-    # full stimulus sweep per simulated defect), so serial and parallel
-    # runs of the same cell report the same simulation_count.
-    simulation_count = len(words) * (1 + counters["simulated"])
-    total_seconds = time.perf_counter() - started
-    stats = GenerationStats(
-        workers=workers,
-        solves=counters["solves"] + golden_run.solve_count,
-        cache_hits=counters["cache_hits"] + golden_run.cache_hit_count,
-        simulated_defects=counters["simulated"],
-        skipped_defects=counters["skipped"],
-        golden_seconds=golden_seconds,
-        defect_seconds=defect_seconds,
-        merge_seconds=merge_seconds,
-        total_seconds=total_seconds,
-    )
+            cell_text = write_cell(cell)
+            bounds = _chunk_bounds(len(defects), workers)
+            payloads = [
+                (
+                    i,
+                    cell_text,
+                    cell.technology,
+                    params,
+                    resolved,
+                    port,
+                    defects[start:stop],
+                    delay_detection,
+                    slow_factor,
+                    keep_responses,
+                    tracer.enabled,
+                )
+                for i, (start, stop) in enumerate(bounds)
+            ]
+            blocks: List[Optional[np.ndarray]] = [None] * len(bounds)
+            chunk_responses: List[Optional[List[List[V4]]]] = [None] * len(bounds)
+            counters = {"simulated": 0, "skipped": 0, "solves": 0, "cache_hits": 0}
+            done = 0
+            with tracer.span(
+                "generate.defects", workers=len(bounds)
+            ) as defects_span:
+                with multiprocessing.Pool(processes=len(bounds)) as pool:
+                    for index, block, block_responses, chunk_counters, spans in (
+                        pool.imap_unordered(_defect_chunk_worker, payloads)
+                    ):
+                        tracer.absorb(spans, parent_id=defects_span.span_id)
+                        blocks[index] = block
+                        chunk_responses[index] = block_responses
+                        for key in ("simulated", "skipped", "solves", "cache_hits"):
+                            counters[key] += chunk_counters[key]
+                        counters["solves"] += chunk_counters.get("golden_solves", 0)
+                        done += len(block)
+                        if progress is not None:
+                            progress(done, len(defects))
+            defect_seconds = time.perf_counter() - defect_started
+            merge_started = time.perf_counter()
+            with tracer.span("generate.merge", chunks=len(bounds)):
+                detection = np.vstack(blocks)
+                if keep_responses:
+                    responses = [row for chunk in chunk_responses for row in chunk]
+                else:
+                    responses = None
+            merge_seconds = time.perf_counter() - merge_started
+            workers = len(bounds)
+
+        registry.inc(M_DEFECT_SECONDS, defect_seconds)
+        if merge_seconds:
+            registry.inc(M_MERGE_SECONDS, merge_seconds)
+        registry.inc(M_SIMULATED, counters["simulated"])
+        registry.inc(M_SKIPPED, counters["skipped"])
+        registry.inc(M_SOLVES, counters["solves"] + golden_run.solve_count)
+        registry.inc(
+            M_CACHE_HITS, counters["cache_hits"] + golden_run.cache_hit_count
+        )
+
+        # Same accounting formula as the serial flow (one golden pass plus one
+        # full stimulus sweep per simulated defect), so serial and parallel
+        # runs of the same cell report the same simulation_count.
+        simulation_count = len(words) * (1 + counters["simulated"])
+        total_seconds = time.perf_counter() - started
+        registry.inc(M_TOTAL_SECONDS, total_seconds)
+        generate_span.set("workers", workers)
+        generate_span.set("simulated_defects", counters["simulated"])
+        stats = GenerationStats.from_metrics(
+            registry.counter_delta(checkpoint), workers=workers
+        )
 
     return CAModel(
         cell_name=cell.name,

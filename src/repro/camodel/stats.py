@@ -16,6 +16,18 @@ import numpy as np
 from repro.camodel.model import CAModel, DYNAMIC, STATIC, UNDETECTED
 from repro.spice.netlist import CellNetlist
 
+# ----------------------------------------------------------------------
+# Metric names (repro.obs registry) GenerationStats is a view over.
+# ----------------------------------------------------------------------
+M_SOLVES = "camodel.sim.solves"
+M_CACHE_HITS = "camodel.sim.cache_hits"
+M_SIMULATED = "camodel.defects.simulated"
+M_SKIPPED = "camodel.defects.skipped"
+M_GOLDEN_SECONDS = "camodel.seconds.golden"
+M_DEFECT_SECONDS = "camodel.seconds.defects"
+M_MERGE_SECONDS = "camodel.seconds.merge"
+M_TOTAL_SECONDS = "camodel.seconds.total"
+
 
 @dataclass
 class GenerationStats:
@@ -60,7 +72,45 @@ class GenerationStats:
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "GenerationStats":
         known = {f.name for f in fields(cls)}
+        unknown = sorted(k for k in data if k not in known)
+        if unknown:
+            # A newer writer added fields this reader does not know; the
+            # load still succeeds, but say which keys were dropped instead
+            # of silently ignoring them.
+            from repro import obs
+
+            obs.events().warning(
+                "stats.unknown_keys",
+                keys=unknown,
+                msg=(
+                    "GenerationStats ignoring unknown keys from a newer "
+                    f"writer: {', '.join(unknown)}"
+                ),
+            )
         return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_metrics(
+        cls, counters: Mapping[str, float], workers: int = 1
+    ) -> "GenerationStats":
+        """Build the stats record from a run's metric counter deltas.
+
+        The generation flow accounts everything into the
+        :mod:`repro.obs` metrics registry and derives the attached stats
+        from it, so the registry is the single source of truth — there is
+        no parallel bookkeeping path that could drift.
+        """
+        return cls(
+            workers=workers,
+            solves=int(counters.get(M_SOLVES, 0)),
+            cache_hits=int(counters.get(M_CACHE_HITS, 0)),
+            simulated_defects=int(counters.get(M_SIMULATED, 0)),
+            skipped_defects=int(counters.get(M_SKIPPED, 0)),
+            golden_seconds=float(counters.get(M_GOLDEN_SECONDS, 0.0)),
+            defect_seconds=float(counters.get(M_DEFECT_SECONDS, 0.0)),
+            merge_seconds=float(counters.get(M_MERGE_SECONDS, 0.0)),
+            total_seconds=float(counters.get(M_TOTAL_SECONDS, 0.0)),
+        )
 
     def summary(self) -> Dict[str, object]:
         """Compact description used by reports and the CLI."""

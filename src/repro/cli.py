@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.camatrix import inference_matrix, rename_transistors, training_matrix
 from repro.camodel import generate_ca_model, load_models, save_model, save_models
 from repro.flow import HybridFlow
@@ -201,13 +202,51 @@ def cmd_table(args) -> int:
     return 0
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="FILE.json",
+        help=(
+            "record spans for the whole run and write them on exit "
+            "(Chrome-trace JSON; use a .jsonl name for raw span lines)"
+        ),
+    )
+    group.add_argument(
+        "--log-json",
+        metavar="FILE.jsonl",
+        help="append structured obs events to a JSONL file",
+    )
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more event output on stderr (-v info, -vv debug)",
+    )
+    group.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="only error events on stderr",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="learning-based CA model generation"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    obs_parent = _obs_parent()
 
-    p = sub.add_parser("generate", help="conventional CA generation (Fig. 1)")
+    p = sub.add_parser(
+        "generate",
+        help="conventional CA generation (Fig. 1)",
+        parents=[obs_parent],
+    )
     p.add_argument("netlist")
     p.add_argument("-o", "--output")
     p.add_argument("--policy", default="auto")
@@ -231,33 +270,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("rename", help="canonical transistor renaming")
+    p = sub.add_parser(
+        "rename", help="canonical transistor renaming", parents=[obs_parent]
+    )
     p.add_argument("netlist")
     p.set_defaults(func=cmd_rename)
 
-    p = sub.add_parser("predict", help="ML CA prediction for one netlist")
+    p = sub.add_parser(
+        "predict", help="ML CA prediction for one netlist", parents=[obs_parent]
+    )
     p.add_argument("netlist")
     p.add_argument("-t", "--training", action="append", required=True)
     p.add_argument("-o", "--output")
     p.add_argument("--policy", default="auto")
     p.set_defaults(func=cmd_predict)
 
-    p = sub.add_parser("hybrid", help="hybrid generation flow (Fig. 7)")
+    p = sub.add_parser(
+        "hybrid", help="hybrid generation flow (Fig. 7)", parents=[obs_parent]
+    )
     p.add_argument("netlist")
     p.add_argument("-t", "--training", action="append", required=True)
     p.add_argument("--policy", default="auto")
     p.set_defaults(func=cmd_hybrid)
 
-    p = sub.add_parser("catalog", help="list cell functions")
+    p = sub.add_parser(
+        "catalog", help="list cell functions", parents=[obs_parent]
+    )
     p.set_defaults(func=cmd_catalog)
 
-    p = sub.add_parser("build", help="emit one synthetic cell as SPICE")
+    p = sub.add_parser(
+        "build", help="emit one synthetic cell as SPICE", parents=[obs_parent]
+    )
     p.add_argument("technology")
     p.add_argument("function")
     p.add_argument("-d", "--drive", type=int, default=1)
     p.set_defaults(func=cmd_build)
 
-    p = sub.add_parser("table", help="print a paper table / figure")
+    p = sub.add_parser(
+        "table", help="print a paper table / figure", parents=[obs_parent]
+    )
     p.add_argument("which")
     p.set_defaults(func=cmd_table)
 
@@ -266,7 +317,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    verbosity = -1 if args.quiet else args.verbose
+    with obs.session(
+        trace_path=args.trace,
+        log_json=args.log_json,
+        verbosity=verbosity,
+        root=f"cli.{args.command}",
+    ):
+        status = args.func(args)
+    if args.trace:
+        print(f"wrote {args.trace}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

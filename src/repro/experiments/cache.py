@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import json
 import os
-import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.camodel.generate import generate_ca_model
 from repro.camodel.io import load_models, save_models
 from repro.camodel.model import CAModel
@@ -57,9 +57,11 @@ def _load_cached_models(path: Path) -> List[CAModel]:
     try:
         return load_models(path)
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
-        print(
-            f"warning: ignoring unreadable CA model cache {path}: {exc}",
-            file=sys.stderr,
+        obs.events().warning(
+            "cache.unreadable",
+            path=str(path),
+            error=str(exc),
+            msg=f"ignoring unreadable CA model cache {path}: {exc}",
         )
         return []
 
@@ -86,16 +88,32 @@ def library_with_models(
     if missing:
         params = get_technology(tech_name).electrical
         for i, cell in enumerate(missing):
-            if verbose:
-                print(
+            # verbose=True marks progress callers opted into (shown at -v);
+            # the rest is debug-level chatter.
+            obs.events().emit(
+                "cache.generate",
+                level="info" if verbose else "debug",
+                technology=tech_name,
+                preset=preset,
+                cell=cell.name,
+                index=i + 1,
+                total=len(missing),
+                msg=(
                     f"[{tech_name}/{preset}] generating {cell.name} "
                     f"({i + 1}/{len(missing)})"
-                )
+                ),
+            )
             models[cell.name] = generate_ca_model(
                 cell, params=params, policy=policy, parallelism=parallelism
             )
         save_models(
             [models[cell.name] for cell in library if cell.name in models], path
+        )
+        obs.events().debug(
+            "cache.write",
+            path=str(path),
+            models=len(models),
+            msg=f"wrote CA model cache {path} ({len(models)} models)",
         )
     return library, models
 

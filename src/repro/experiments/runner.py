@@ -3,10 +3,15 @@
 Usage::
 
     python -m repro.experiments [--scale bench] [--output report.txt]
+                                [--trace run.json] [--log-json run.jsonl]
+                                [-v | -q]
 
 Regenerates, in order: Tables I-III, Figs. 4-6, Table IV.a/b/c, the
 Section V.B bands and the Section V.C hybrid study, printing each artifact
-and (optionally) writing everything to one report file.
+and (optionally) writing everything to one report file.  Every artifact is
+timed: one ``experiment.artifact`` obs event fires per artifact, a timing
+table is appended to the artifact list (and hence to the written report),
+and ``--trace`` captures the full span timeline of the run.
 """
 
 from __future__ import annotations
@@ -15,8 +20,9 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
+from repro import obs
 from repro.experiments.analysis import accuracy_bands
 from repro.experiments.cache import DEFAULT_SCALE
 from repro.experiments.hybrid_study import hybrid_flow_study
@@ -34,37 +40,76 @@ from repro.experiments.table4 import (
 )
 
 
-def run_all(scale: str = DEFAULT_SCALE, verbose: bool = True) -> List[str]:
-    """Run every experiment; returns the rendered artifacts in order."""
-    artifacts: List[str] = []
+def timing_table(timings: List[Tuple[str, float]]) -> str:
+    """Fixed-width per-artifact timing table (appended to the report)."""
+    width = max([len(label) for label, _ in timings] + [len("artifact")])
+    lines = ["artifact timings", f"{'artifact':<{width}}  seconds"]
+    for label, seconds in timings:
+        lines.append(f"{label:<{width}}  {seconds:8.3f}")
+    total = sum(seconds for _, seconds in timings)
+    lines.append(f"{'total':<{width}}  {total:8.3f}")
+    return "\n".join(lines)
 
-    def emit(text: str) -> None:
+
+def run_all(scale: str = DEFAULT_SCALE, verbose: bool = True) -> List[str]:
+    """Run every experiment; returns the rendered artifacts in order.
+
+    Each artifact is built under an ``experiments.artifact`` span and
+    reported as one ``experiment.artifact`` event carrying its duration;
+    the final artifact is the timing table over the whole run.
+    """
+    artifacts: List[str] = []
+    timings: List[Tuple[str, float]] = []
+    tracer = obs.tracer()
+
+    def emit(label: str, build: Callable[[], str]) -> None:
+        started = time.perf_counter()
+        with tracer.span("experiments.artifact", artifact=label):
+            text = build()
+        seconds = time.perf_counter() - started
+        timings.append((label, seconds))
+        obs.events().info(
+            "experiment.artifact", artifact=label, seconds=round(seconds, 4)
+        )
         artifacts.append(text)
         if verbose:
             print(text)
             print()
 
-    emit(table1_training_rows())
-    emit(table2_activity())
-    emit(table3_defect_columns())
-    emit(fig4_partial_matrix())
-    emit(fig5_branch_equations())
-    emit(fig6_equivalence_demo())
+    emit("table1", table1_training_rows)
+    emit("table2", table2_activity)
+    emit("table3", table3_defect_columns)
+    emit("fig4", fig4_partial_matrix)
+    emit("fig5", fig5_branch_equations)
+    emit("fig6", fig6_equivalence_demo)
 
-    started = time.perf_counter()
-    report_a, grid_a = table4a_same_technology(scale)
-    emit(grid_a + f"\nmean accuracy {report_a.mean_accuracy():.4f}, "
-         f">97%: {report_a.accuracy_fraction_above():.1%}")
+    def table4a() -> str:
+        report, grid = table4a_same_technology(scale)
+        return (
+            grid + f"\nmean accuracy {report.mean_accuracy():.4f}, "
+            f">97%: {report.accuracy_fraction_above():.1%}"
+        )
+
+    emit("table4.a", table4a)
+
     for tech in ("c28", "c40"):
-        report, grid = table4bc_cross_technology(tech, scale)
-        emit(grid + f"\nmean accuracy {report.mean_accuracy():.4f}, "
-             f">97%: {report.accuracy_fraction_above():.1%}, "
-             f"uncovered cells: {len(report.uncovered)}")
-        emit(accuracy_bands(tech, scale).render())
+        def table4bc(tech: str = tech) -> str:
+            report, grid = table4bc_cross_technology(tech, scale)
+            return (
+                grid + f"\nmean accuracy {report.mean_accuracy():.4f}, "
+                f">97%: {report.accuracy_fraction_above():.1%}, "
+                f"uncovered cells: {len(report.uncovered)}"
+            )
 
-    emit(hybrid_flow_study(scale).render())
+        emit(f"table4.{tech}", table4bc)
+        emit(f"bands.{tech}", lambda tech=tech: accuracy_bands(tech, scale).render())
+
+    emit("hybrid_study", lambda: hybrid_flow_study(scale).render())
+
+    table = timing_table(timings)
+    artifacts.append(table)
     if verbose:
-        print(f"(evaluation experiments took {time.perf_counter() - started:.0f}s)")
+        print(table)
     return artifacts
 
 
@@ -72,11 +117,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument("--scale", default=DEFAULT_SCALE)
     parser.add_argument("--output")
+    parser.add_argument(
+        "--trace", metavar="FILE.json",
+        help="write the run's span timeline (Chrome-trace JSON; .jsonl for raw spans)",
+    )
+    parser.add_argument(
+        "--log-json", metavar="FILE.jsonl",
+        help="append structured obs events to a JSONL file",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more event output on stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress artifact printing and non-error events",
+    )
     args = parser.parse_args(argv)
-    artifacts = run_all(scale=args.scale)
-    if args.output:
-        Path(args.output).write_text("\n\n".join(artifacts) + "\n")
-        print(f"wrote {args.output}")
+    verbosity = -1 if args.quiet else args.verbose
+    with obs.session(
+        trace_path=args.trace,
+        log_json=args.log_json,
+        verbosity=verbosity,
+        root="experiments.run_all",
+        scale=args.scale,
+    ):
+        kwargs = {"scale": args.scale}
+        if args.quiet:
+            kwargs["verbose"] = False
+        artifacts = run_all(**kwargs)
+        if args.output:
+            Path(args.output).write_text("\n\n".join(artifacts) + "\n")
+            print(f"wrote {args.output}")
+    if args.trace:
+        print(f"wrote {args.trace}")
     return 0
 
 

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from repro import obs
 from repro.camatrix.matrix import build_matrix
 from repro.camatrix.rename import RenamedCell, rename_transistors
 from repro.camodel.generate import generate_ca_model
@@ -141,7 +142,10 @@ class HybridFlow:
             cap = _cap_rows(group, self.max_group_rows)
             X, y = stack_group(group, kinds=self.kinds, max_rows_per_cell=cap)
             clf = self.classifier_factory()
-            clf.fit(X, y)
+            with obs.tracer().span(
+                "learning.fit", group=str(key), rows=len(y), cells=len(group)
+            ):
+                clf.fit(X, y)
             self._classifiers[key] = clf
         return clf
 
@@ -157,58 +161,99 @@ class HybridFlow:
         reference: Optional[CAModel] = None,
         policy: str = "auto",
     ) -> CellDecision:
-        """Characterize one cell through the hybrid flow."""
-        started = time.perf_counter()
-        renamed = rename_transistors(cell, params=self.params)
-        match = self.index.match(renamed)
-        if match == NONE and self.router == "relaxed":
-            # Section V.C extension: admit structurally *similar* cells.
-            if self.similarity.admits(renamed, self.similarity_threshold):
-                match = RELAXED
+        """Characterize one cell through the hybrid flow.
 
-        if match != NONE:
-            matrix = build_matrix(
-                cell, model=reference, params=self.params, policy=policy,
-                renamed=renamed,
+        The whole per-cell window — structural analysis (rename + match)
+        plus whichever path ran — is one ``flow.cell`` span, and on the ML
+        route the *same* wall-clock window is what the ledger records, so
+        ledger seconds and span durations agree by construction.  The
+        routing verdict is emitted as a structured ``hybrid.route`` event
+        with the reason.
+        """
+        tracer = obs.tracer()
+        started = time.perf_counter()
+        with tracer.span("flow.cell", cell=cell.name) as cell_span:
+            with tracer.span("flow.structure", cell=cell.name) as structure_span:
+                renamed = rename_transistors(cell, params=self.params)
+                match = self.index.match(renamed)
+                reason = f"structural match: {match}"
+                if match == NONE and self.router == "relaxed":
+                    # Section V.C extension: admit structurally *similar* cells.
+                    if self.similarity.admits(renamed, self.similarity_threshold):
+                        match = RELAXED
+                        reason = (
+                            "similarity >= "
+                            f"{self.similarity_threshold} (relaxed router)"
+                        )
+                structure_span.set("match", match)
+            route = "ml" if match != NONE else "simulate"
+            if route == "simulate":
+                reason = "no structural or similar match in training set"
+            obs.events().info(
+                "hybrid.route",
+                cell=cell.name,
+                route=route,
+                match=match,
+                reason=reason,
             )
-            clf = self._classifier(cell.group_key)
-            predicted_labels = clf.predict(matrix.features)
-            model = matrix.to_model(predicted_labels)
-            seconds = time.perf_counter() - started
-            accuracy = None
-            if reference is not None and matrix.labels is not None:
-                accuracy = float(
-                    (np.asarray(predicted_labels) == matrix.labels).mean()
+            cell_span.set("route", route)
+            cell_span.set("match", match)
+            cell_span.set("reason", reason)
+
+            if match != NONE:
+                with tracer.span("flow.ml", cell=cell.name):
+                    with tracer.span("camatrix.build", cell=cell.name):
+                        matrix = build_matrix(
+                            cell, model=reference, params=self.params,
+                            policy=policy, renamed=renamed,
+                        )
+                    clf = self._classifier(cell.group_key)
+                    with tracer.span(
+                        "learning.predict", cell=cell.name, rows=matrix.n_rows
+                    ):
+                        predicted_labels = clf.predict(matrix.features)
+                    model = matrix.to_model(predicted_labels)
+                # The ML wall time covers rename AND predict: the window
+                # opened before the structural analysis, because renaming
+                # is work the ML path pays (the simulation path would have
+                # paid it anyway, but its cost there is noise).
+                seconds = time.perf_counter() - started
+                accuracy = None
+                if reference is not None and matrix.labels is not None:
+                    accuracy = float(
+                        (np.asarray(predicted_labels) == matrix.labels).mean()
+                    )
+                self.ledger_record_ml(cell, seconds, policy)
+                decision = CellDecision(
+                    cell_name=cell.name,
+                    group_key=cell.group_key,
+                    match=match,
+                    route="ml",
+                    seconds=seconds,
+                    model=model,
+                    accuracy=accuracy,
                 )
-            self.ledger_record_ml(cell, seconds, policy)
-            decision = CellDecision(
-                cell_name=cell.name,
-                group_key=cell.group_key,
-                match=match,
-                route="ml",
-                seconds=seconds,
-                model=model,
-                accuracy=accuracy,
-            )
-        else:
-            model = generate_ca_model(cell, params=self.params, policy=policy)
-            seconds = time.perf_counter() - started
-            self.report.ledger.record_simulated(
-                self.cost_model.spice_seconds_for_model(model)
-            )
-            # Feedback: the simulated model supplements the training set.
-            self._feedback(cell, model)
-            # No accuracy for simulated cells: the conventional flow is the
-            # reference, so a score here would always be a meaningless 1.0.
-            decision = CellDecision(
-                cell_name=cell.name,
-                group_key=cell.group_key,
-                match=match,
-                route="simulate",
-                seconds=seconds,
-                model=model,
-                accuracy=None,
-            )
+            else:
+                model = generate_ca_model(cell, params=self.params, policy=policy)
+                seconds = time.perf_counter() - started
+                self.report.ledger.record_simulated(
+                    self.cost_model.spice_seconds_for_model(model)
+                )
+                # Feedback: the simulated model supplements the training set.
+                with tracer.span("flow.feedback", cell=cell.name):
+                    self._feedback(cell, model)
+                # No accuracy for simulated cells: the conventional flow is the
+                # reference, so a score here would always be a meaningless 1.0.
+                decision = CellDecision(
+                    cell_name=cell.name,
+                    group_key=cell.group_key,
+                    match=match,
+                    route="simulate",
+                    seconds=seconds,
+                    model=model,
+                    accuracy=None,
+                )
+            cell_span.set("seconds", seconds)
         self.report.decisions.append(decision)
         return decision
 

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.learning.datasets import (
     CellSample,
     GroupKey,
@@ -133,9 +134,16 @@ def leave_one_out(
             train = [s for s in group if s is not held_out]
             X, y = stack_group(train, kinds=kinds, max_rows_per_cell=cap)
             clf = factory()
-            clf.fit(X, y)
+            with obs.tracer().span(
+                "learning.fit", group=str(key), rows=len(y), cells=len(train)
+            ):
+                clf.fit(X, y)
             X_eval, y_eval = sample_rows(held_out, kinds=kinds)
-            accuracy = accuracy_score(y_eval, clf.predict(X_eval))
+            with obs.tracer().span(
+                "learning.predict", cell=held_out.name, rows=len(y_eval)
+            ):
+                predicted = clf.predict(X_eval)
+            accuracy = accuracy_score(y_eval, predicted)
             report.evaluations.append(
                 CellEvaluation(
                     cell_name=held_out.name,
@@ -169,12 +177,19 @@ def cross_technology(
             cap = _cap_rows(train, max_group_rows)
             X, y = stack_group(train, kinds=kinds, max_rows_per_cell=cap)
             clf = factory()
-            clf.fit(X, y)
+            with obs.tracer().span(
+                "learning.fit", group=str(key), rows=len(y), cells=len(train)
+            ):
+                clf.fit(X, y)
             classifiers[key] = clf
         clf = classifiers[key]
         for sample in group:
             X_eval, y_eval = sample_rows(sample, kinds=kinds)
-            accuracy = accuracy_score(y_eval, clf.predict(X_eval))
+            with obs.tracer().span(
+                "learning.predict", cell=sample.name, rows=len(y_eval)
+            ):
+                predicted = clf.predict(X_eval)
+            accuracy = accuracy_score(y_eval, predicted)
             report.evaluations.append(
                 CellEvaluation(
                     cell_name=sample.name,

@@ -1,0 +1,170 @@
+"""Structured event log with pluggable sinks.
+
+Replaces the ad-hoc stderr prints that used to live in the cache / flow /
+experiment modules.  An event is a name plus structured fields::
+
+    obs.events().warning("cache.unreadable", path=str(path), error=str(exc),
+                         msg=f"ignoring unreadable CA model cache {path}: {exc}")
+
+Sinks decide what happens: :class:`TextSink` renders one line to stderr
+(the default, at ``warning`` and above — matching the old behaviour),
+:class:`JsonlSink` appends machine-readable JSON lines, :class:`NullSink`
+drops everything, :class:`ListSink` buffers (tests), :class:`TeeSink`
+fans out.  The optional ``msg`` field is the human-readable rendering;
+every other field is data.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def level_value(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(f"unknown event level {level!r}") from None
+
+
+class Event:
+    """One structured log record."""
+
+    __slots__ = ("name", "level", "time", "fields")
+
+    def __init__(self, name: str, level: str, fields: Dict[str, object]):
+        self.name = name
+        self.level = level
+        self.time = time.time()
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, object]:
+        out = {"event": self.name, "level": self.level, "time": self.time}
+        out.update(self.fields)
+        return out
+
+    def render(self) -> str:
+        """One human-readable line."""
+        msg = self.fields.get("msg")
+        if msg is not None:
+            return f"[{self.level}] {self.name}: {msg}"
+        data = " ".join(
+            f"{k}={v}" for k, v in self.fields.items() if k != "msg"
+        )
+        return f"[{self.level}] {self.name}" + (f" {data}" if data else "")
+
+
+class NullSink:
+    """Drops every event (``--quiet`` beyond errors, or library embedding)."""
+
+    def emit(self, event: Event) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class TextSink:
+    """Renders events at or above *min_level* as one line of text.
+
+    ``stream=None`` resolves ``sys.stderr`` at emit time, so output
+    respects later redirection (pytest capture, CLI piping).
+    """
+
+    def __init__(self, min_level: str = "warning", stream=None):
+        self.min_value = level_value(min_level)
+        self._stream = stream
+
+    def emit(self, event: Event) -> None:
+        if level_value(event.level) < self.min_value:
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        stream.write(event.render() + "\n")
+
+    def close(self) -> None:
+        return None
+
+
+class JsonlSink:
+    """Appends every event as one JSON line to *path*."""
+
+    def __init__(self, path: Union[str, Path], min_level: str = "debug"):
+        self.path = Path(path)
+        self.min_value = level_value(min_level)
+        self._handle = None
+
+    def emit(self, event: Event) -> None:
+        if level_value(event.level) < self.min_value:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(event.to_dict(), default=str) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class ListSink:
+    """Buffers events in memory — the test double."""
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        return None
+
+    def named(self, name: str) -> List[Event]:
+        return [e for e in self.events if e.name == name]
+
+
+class TeeSink:
+    """Fans one event out to several sinks."""
+
+    def __init__(self, sinks: Sequence[object]):
+        self.sinks = list(sinks)
+
+    def emit(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class EventLog:
+    """Front door: ``emit`` plus per-level helpers."""
+
+    def __init__(self, sink: Optional[object] = None):
+        self.sink = sink if sink is not None else TextSink()
+
+    def emit(self, name: str, level: str = "info", **fields) -> None:
+        level_value(level)  # validate early, even if the sink drops it
+        self.sink.emit(Event(name, level, fields))
+
+    def debug(self, name: str, **fields) -> None:
+        self.emit(name, level="debug", **fields)
+
+    def info(self, name: str, **fields) -> None:
+        self.emit(name, level="info", **fields)
+
+    def warning(self, name: str, **fields) -> None:
+        self.emit(name, level="warning", **fields)
+
+    def error(self, name: str, **fields) -> None:
+        self.emit(name, level="error", **fields)
+
+    def close(self) -> None:
+        self.sink.close()

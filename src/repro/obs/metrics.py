@@ -1,0 +1,109 @@
+"""In-process metrics registry: counters, gauges, histograms.
+
+Increments are one dict update — cheap enough for per-chunk accounting on
+the generation hot path.  The registry is process-local; pool workers run
+their own :class:`Metrics`, ship :meth:`snapshot` back with their results,
+and the parent :meth:`merge`\\ s the deltas, so a parallel run ends with
+one coherent registry (the numbers :class:`~repro.camodel.stats.GenerationStats`
+is now a view over).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+
+def _new_histogram() -> Dict[str, float]:
+    return {"count": 0.0, "sum": 0.0, "min": float("inf"), "max": float("-inf")}
+
+
+class Metrics:
+    """Named counters / gauges / histograms with snapshot-and-merge."""
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add *value* to a counter (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a gauge."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a histogram (count/sum/min/max)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = _new_histogram()
+        hist["count"] += 1
+        hist["sum"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, float]:
+        """Copy of the counters, for later :meth:`counter_delta`."""
+        return dict(self.counters)
+
+    def counter_delta(self, checkpoint: Mapping[str, float]) -> Dict[str, float]:
+        """Counter increments since *checkpoint* (zero deltas omitted)."""
+        out: Dict[str, float] = {}
+        for name, value in self.counters.items():
+            delta = value - checkpoint.get(name, 0.0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Full, JSON-serializable state (what crosses a worker pipe)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold a child snapshot in: counters add, histograms combine,
+        gauges last-write-wins."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, float(value))
+        for name, other in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = _new_histogram()
+            hist["count"] += other["count"]
+            hist["sum"] += other["sum"]
+            hist["min"] = min(hist["min"], other["min"])
+            hist["max"] = max(hist["max"], other["max"])
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def render(self, prefix: Optional[str] = None) -> str:
+        """Plain-text dump (``--stats``-style debugging aid)."""
+        lines = []
+        for name in sorted(self.counters):
+            if prefix and not name.startswith(prefix):
+                continue
+            lines.append(f"{name} = {self.counters[name]:g}")
+        for name in sorted(self.gauges):
+            if prefix and not name.startswith(prefix):
+                continue
+            lines.append(f"{name} = {self.gauges[name]:g} (gauge)")
+        for name in sorted(self.histograms):
+            if prefix and not name.startswith(prefix):
+                continue
+            h = self.histograms[name]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"{name}: n={h['count']:g} mean={mean:g} "
+                f"min={h['min']:g} max={h['max']:g}"
+            )
+        return "\n".join(lines)

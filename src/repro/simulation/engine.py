@@ -84,6 +84,17 @@ class CellSimulator:
         #: memoized phase lookups served without a solve (cost accounting)
         self.cache_hit_count = 0
 
+    def counters(self) -> Dict[str, int]:
+        """Solve vs. memo-hit counts of this simulator instance.
+
+        This is the leaf-level cost signal the generation flow accumulates
+        into the :mod:`repro.obs` metrics registry (metric names
+        ``camodel.sim.solves`` / ``camodel.sim.cache_hits``), from which
+        the :class:`~repro.camodel.stats.GenerationStats` attached to each
+        model is derived.
+        """
+        return {"solves": self.solve_count, "cache_hits": self.cache_hit_count}
+
     # ------------------------------------------------------------------
     def _memoryless(self, vector: Tuple[int, ...]):
         """History-free solve of one static vector, memoized per vector."""

@@ -1,0 +1,45 @@
+"""Lightweight lint gate: no bare ``print(`` in library code.
+
+Library modules must report through :mod:`repro.obs` (events / metrics /
+spans) so output is structured, level-filtered, and capturable.  Only the
+two sanctioned console sinks may print: the CLI itself and the experiment
+runner's artifact printing.  The same rule runs in CI as ruff's T201
+(see .ruff.toml per-file-ignores); this test keeps the gate active in
+environments without ruff.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: module paths (relative to src/repro) allowed to print
+ALLOWED = {
+    "cli.py",
+    "experiments/runner.py",
+}
+
+#: a call of the print builtin (not a method like writer.print_header)
+PRINT_CALL = re.compile(r"(?<![\w.])print\(")
+
+
+def test_no_bare_print_outside_sinks():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC).as_posix()
+        if relative in ALLOWED:
+            continue
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if PRINT_CALL.search(code):
+                offenders.append(f"{relative}:{number}: {line.strip()}")
+    assert not offenders, (
+        "bare print() in library code (use repro.obs.events):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_allowed_sinks_exist():
+    # guard against the allowlist silently rotting after a refactor
+    for relative in ALLOWED:
+        assert (SRC / relative).exists(), relative

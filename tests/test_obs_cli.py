@@ -1,0 +1,146 @@
+"""CLI surface of the obs subsystem: --trace / --log-json / -v / -q."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import runner
+from repro.library import SOI28, build_cell
+from repro.spice import write_cell
+
+
+@pytest.fixture()
+def nand2_file(tmp_path, nand2):
+    path = tmp_path / "nand2.sp"
+    path.write_text(write_cell(nand2, SOI28.dialect))
+    return path
+
+
+class TestGenerateTrace:
+    def test_parallel_generate_writes_chrome_trace(self, tmp_path, nand2_file):
+        trace = tmp_path / "run.json"
+        assert main(
+            ["generate", str(nand2_file), "-j", "2", "--trace", str(trace)]
+        ) == 0
+        payload = json.loads(trace.read_text())
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        names = [e["name"] for e in events]
+        # golden / defect-chunk / merge spans from all workers, one root
+        assert names.count("cli.generate") == 1
+        assert names.count("camodel.generate") == 1
+        assert names.count("generate.chunk") == 2
+        assert names.count("generate.merge") == 1
+        assert "generate.golden" in names and "generate.defects" in names
+        assert len({e["pid"] for e in events}) == 3  # main + 2 workers
+        ids = {e["args"]["span_id"] for e in events}
+        for event in events:
+            parent = event["args"].get("parent_id")
+            assert parent is None or parent in ids
+
+    def test_trace_jsonl_variant(self, tmp_path, nand2_file):
+        trace = tmp_path / "run.jsonl"
+        assert main(["generate", str(nand2_file), "--trace", str(trace)]) == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(r["name"] == "camodel.generate" for r in records)
+
+    def test_log_json_captures_events(self, tmp_path, nand2_file):
+        log = tmp_path / "events.jsonl"
+        # hybrid needs training; use generate plus a stats round-trip via
+        # the cache-unreadable path instead: simplest event source is the
+        # hybrid route, so drive predict with a training file.
+        from repro.camodel import generate_ca_model, save_models
+
+        train = tmp_path / "train.json"
+        cells = [build_cell(SOI28, "NAND2", 1, f) for f in SOI28.flavors]
+        save_models(
+            [generate_ca_model(c, params=SOI28.electrical) for c in cells],
+            train,
+        )
+        assert main(
+            [
+                "predict",
+                str(nand2_file),
+                "-t",
+                str(train),
+                "--log-json",
+                str(log),
+            ]
+        ) == 0
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        route = [r for r in records if r["event"] == "hybrid.route"]
+        assert route and route[0]["route"] == "ml"
+
+    def test_no_flags_leaves_no_trace_file(self, tmp_path, nand2_file, capsys):
+        assert main(["generate", str(nand2_file)]) == 0
+        assert list(tmp_path.glob("*.json*")) == []
+        assert "wrote" not in capsys.readouterr().out
+
+
+class TestRunnerCli:
+    def test_runner_trace_and_timing_table(self, tmp_path, monkeypatch):
+        # stub the heavy halves; the timing table and trace still appear
+        monkeypatch.setattr(
+            runner, "table4a_same_technology", lambda scale: (_FakeReport(), "IVa")
+        )
+        monkeypatch.setattr(
+            runner,
+            "table4bc_cross_technology",
+            lambda tech, scale: (_FakeReport(), f"IV-{tech}"),
+        )
+        monkeypatch.setattr(
+            runner, "accuracy_bands", lambda tech, scale: _FakeBands()
+        )
+        monkeypatch.setattr(runner, "hybrid_flow_study", lambda scale: _FakeStudy())
+        out = tmp_path / "report.txt"
+        trace = tmp_path / "run.json"
+        assert (
+            runner.main(
+                [
+                    "--scale",
+                    "tiny",
+                    "--output",
+                    str(out),
+                    "--trace",
+                    str(trace),
+                    "-q",
+                ]
+            )
+            == 0
+        )
+        report = out.read_text()
+        assert "artifact timings" in report
+        assert "table4.a" in report and "hybrid_study" in report
+        payload = json.loads(trace.read_text())
+        names = [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"]
+        # 6 small tables/figs + table4.a + 2x(table4 + bands) + hybrid study
+        assert names.count("experiments.artifact") == 12
+        assert names.count("experiments.run_all") == 1
+
+    def test_timing_table_shape(self):
+        table = runner.timing_table([("a", 0.5), ("bb", 1.25)])
+        lines = table.splitlines()
+        assert lines[0] == "artifact timings"
+        assert any(line.startswith("a ") for line in lines)
+        assert lines[-1].startswith("total")
+        assert "1.750" in lines[-1]
+
+
+class _FakeReport:
+    def mean_accuracy(self):
+        return 0.99
+
+    def accuracy_fraction_above(self, threshold=0.97):
+        return 0.9
+
+    uncovered = ()
+
+
+class _FakeBands:
+    def render(self):
+        return "bands"
+
+
+class _FakeStudy:
+    def render(self):
+        return "hybrid study"
