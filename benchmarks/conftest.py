@@ -8,7 +8,19 @@ Scale is controlled by the REPRO_SCALE environment variable
 ('bench' default, 'small', 'default'); generated CA model libraries are
 cached under .cache/ so only the first run pays the conventional
 generation cost.
+
+Benches that want machine-readable output opt in to the ``bench_record``
+fixture: every record added under a group name is written to
+``BENCH_<group>.json`` at the repository root when the session ends, so
+CI can archive measured numbers (speedups, timings) as artifacts instead
+of scraping them out of captured stdout.
 """
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
 
 import pytest
 
@@ -30,3 +42,38 @@ def scale(request):
         request.config.getoption("--repro-scale")
         or os.environ.get("REPRO_SCALE", "bench")
     )
+
+
+class BenchRecorder:
+    """Collects bench measurements and persists them as JSON files."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self._groups: Dict[str, List[dict]] = {}
+
+    def add(self, group: str, **record) -> None:
+        """Record one measurement under *group* (one file per group)."""
+        record.setdefault("timestamp", time.strftime("%Y-%m-%dT%H:%M:%S"))
+        self._groups.setdefault(group, []).append(record)
+
+    def flush(self) -> List[Path]:
+        written = []
+        for group, records in sorted(self._groups.items()):
+            path = self.root / f"BENCH_{group}.json"
+            payload = {
+                "group": group,
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "records": records,
+            }
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+            written.append(path)
+        return written
+
+
+@pytest.fixture(scope="session")
+def bench_record(request):
+    recorder = BenchRecorder(Path(request.config.rootpath))
+    yield recorder
+    for path in recorder.flush():
+        print(f"\nwrote {path}")

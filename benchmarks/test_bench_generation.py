@@ -33,6 +33,56 @@ def test_conventional_generation(benchmark, function, drive):
     )
 
 
+def test_batched_vs_scalar_speedup(bench_record):
+    """The vectorized batch kernel against the scalar reference solver.
+
+    Same cell, same universe, same stimuli; only the solver path differs.
+    The batched path must be byte-identical (checked) and substantially
+    faster on the serial kernel (the acceptance bar is 3x on a 4-input
+    exhaustive run).  Delay detection is off so the measurement isolates
+    phase solving rather than drive-resistance extraction.
+    """
+    import time
+
+    import numpy as np
+
+    cell = build_cell(SOI28, "AOI22", 1)
+    kwargs = dict(params=SOI28.electrical, delay_detection=False)
+
+    def best_of(batched, rounds=3):
+        best = float("inf")
+        model = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            model = generate_ca_model(cell, batched=batched, **kwargs)
+            best = min(best, time.perf_counter() - start)
+        return best, model
+
+    scalar_seconds, scalar_model = best_of(batched=False)
+    batched_seconds, batched_model = best_of(batched=True)
+
+    assert np.array_equal(scalar_model.detection, batched_model.detection)
+    assert scalar_model.golden == batched_model.golden
+
+    speedup = scalar_seconds / batched_seconds
+    bench_record.add(
+        "generation",
+        benchmark="batched_vs_scalar",
+        cell=cell.name,
+        stimuli=scalar_model.n_stimuli,
+        defects=scalar_model.n_defects,
+        scalar_seconds=round(scalar_seconds, 4),
+        batched_seconds=round(batched_seconds, 4),
+        speedup=round(speedup, 2),
+        batched_phases=batched_model.stats.batched_phases,
+    )
+    print(
+        f"\nscalar {scalar_seconds:.3f}s vs batched {batched_seconds:.3f}s "
+        f"-> {speedup:.2f}x"
+    )
+    assert speedup >= 3.0
+
+
 def test_golden_simulation_throughput(benchmark):
     """The golden pass alone (used by active/passive identification)."""
     from repro.camodel import stimuli

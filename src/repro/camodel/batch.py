@@ -67,6 +67,7 @@ def generate_library(
     delay_detection: bool = True,
     slow_factor: float = DEFAULT_SLOW_FACTOR,
     parallelism: Optional[int] = None,
+    batched: bool = True,
 ) -> Dict[str, CAModel]:
     """Characterize many cells, optionally in parallel.
 
@@ -92,6 +93,7 @@ def generate_library(
         universe=universe,
         delay_detection=delay_detection,
         slow_factor=slow_factor,
+        batched=batched,
     )
     tracer = obs.tracer()
     registry = obs.metrics()

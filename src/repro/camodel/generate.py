@@ -6,18 +6,32 @@ requires a deterministic mismatch: an X defective response (floating or
 contended output) is *not* a detection.
 
 The per-defect loop is the hot path of the whole reproduction (the very
-cost the paper attacks); two levers keep it fast:
+cost the paper attacks); three levers keep it fast (see
+``docs/performance.md``):
 
 * **Shared structure** — the cell's switch-level topology (net indexing,
   on-conductances, driver edges) is built once per cell as a
   :class:`~repro.simulation.switchgraph.CellTopology` and cheaply
-  specialized per defect effect, and benign / golden-equivalent defects
-  short-circuit before any solver is built.
+  specialized per defect effect; benign / golden-equivalent defects
+  short-circuit before any solver is built; and phases solved under one
+  defect are shared with every signature-equal defect through the
+  topology's cross-defect phase cache.
+* **Batched solving** — each (defect, stimulus set) pair is planned as
+  one unit: :meth:`~repro.simulation.engine.CellSimulator.solve_words`
+  dedups the phase set and runs it through the vectorized NumPy kernel
+  (:meth:`~repro.simulation.solver.StaticSolver.solve_batch`), which is
+  byte-identical to the scalar path (``batched=False`` forces the scalar
+  reference).
 * **Defect-level parallelism** — ``parallelism=N`` splits the defect
   universe into contiguous chunks characterized on a process pool and
   merges the per-chunk detection blocks; the result is byte-identical to
   the serial run.  This saturates all cores even for a single large cell,
   the case cell-level fan-out (:mod:`repro.camodel.batch`) cannot help.
+
+Multi-output cells are characterized in **one sweep**: every solved phase
+carries the codes of all nets, so :func:`generate_multi` runs a single
+golden pass and a single defect loop and reads one detection table per
+output port out of it, instead of paying O(outputs) full simulations.
 
 Cost accounting is collected into a
 :class:`~repro.camodel.stats.GenerationStats` attached to the returned
@@ -36,6 +50,7 @@ from repro import obs
 from repro.camodel.model import CAModel
 from repro.camodel.stats import (
     GenerationStats,
+    M_BATCHED,
     M_CACHE_HITS,
     M_DEFECT_SECONDS,
     M_GOLDEN_SECONDS,
@@ -51,7 +66,7 @@ from repro.defects.universe import default_universe
 from repro.library.technology import ElectricalParams
 from repro.library.technology import get as get_technology
 from repro.logic.fourval import V4
-from repro.simulation.engine import CellSimulator
+from repro.simulation.engine import CellSimulator, WordPlan, split_word
 from repro.simulation.switchgraph import CellTopology
 from repro.spice.netlist import CellNetlist
 
@@ -82,41 +97,68 @@ def detect(golden: V4, defective: V4) -> int:
     return int(defective is not golden)
 
 
+def _port_responses(
+    solved: Sequence[Tuple[List[int], List[int]]], node: int
+) -> List[V4]:
+    """Per-word output symbols of one port from whole-net solved phases."""
+    return [V4.from_phases(codes1[node], codes2[node]) for codes1, codes2 in solved]
+
+
 class _GoldenRun:
-    """Golden pass of one cell: responses plus reference resistances."""
+    """Golden pass of one cell: responses plus reference resistances.
+
+    Solves the stimulus set once and reads every requested output port
+    out of the solved phases (each phase carries the codes of all nets),
+    so multi-output cells pay a single pass.
+    """
 
     def __init__(
         self,
         cell: CellNetlist,
         params: ElectricalParams,
         words: Sequence[Word],
-        port: str,
+        ports: Sequence[str],
         delay_detection: bool,
         topology: Optional[CellTopology] = None,
+        batched: bool = True,
+        plans: Optional[Sequence[WordPlan]] = None,
     ):
         self.topology = topology or CellTopology(cell, params=params)
-        sim = CellSimulator(cell, params=params, topology=self.topology)
-        self.golden: List[V4] = [
-            sim.output_response(w, output=port) for w in words
-        ]
-        self.transition_cols: List[int] = [
-            col for col, response in enumerate(self.golden) if response.is_dynamic
-        ]
-        self.resistance: Dict[int, float] = {}
-        if delay_detection:
-            for col in self.transition_cols:
-                self.resistance[col] = sim.output_drive_resistance(
-                    words[col], output=port
-                )
+        self.plans = (
+            plans
+            if plans is not None
+            else [split_word(w, cell.n_inputs, cell.name) for w in words]
+        )
+        sim = CellSimulator(
+            cell, params=params, topology=self.topology, batched=batched
+        )
+        solved = sim.solve_words(words, self.plans)
+        self.golden: Dict[str, List[V4]] = {}
+        self.transition_cols: Dict[str, List[int]] = {}
+        self.resistance: Dict[str, Dict[int, float]] = {}
+        for port in ports:
+            responses = _port_responses(solved, sim.graph.net_index[port])
+            self.golden[port] = responses
+            cols = [
+                col for col, response in enumerate(responses)
+                if response.is_dynamic
+            ]
+            self.transition_cols[port] = cols
+            if delay_detection:
+                self.resistance[port] = {
+                    col: sim.output_drive_resistance(words[col], output=port)
+                    for col in cols
+                }
         self.solve_count = sim.solve_count
         self.cache_hit_count = sim.cache_hit_count
+        self.batched_count = sim.batched_count
 
 
 def _simulate_defect_rows(
     cell: CellNetlist,
     params: ElectricalParams,
     words: Sequence[Word],
-    port: str,
+    ports: Sequence[str],
     defects: Sequence[Defect],
     golden_run: _GoldenRun,
     delay_detection: bool,
@@ -125,52 +167,74 @@ def _simulate_defect_rows(
     progress: Optional[Callable[[int, int], None]] = None,
     progress_offset: int = 0,
     progress_total: Optional[int] = None,
-) -> Tuple[np.ndarray, Optional[List[List[V4]]], Dict[str, int]]:
+    batched: bool = True,
+) -> Tuple[
+    Dict[str, np.ndarray],
+    Optional[Dict[str, List[List[V4]]]],
+    Dict[str, int],
+]:
     """Characterize a contiguous slice of the defect universe.
 
     This is the kernel both the serial path and every pool worker run;
     determinism (fixed defect order, identity-based V4 comparison against
     a locally computed golden pass) guarantees the parallel merge is
-    byte-identical to the serial table.
+    byte-identical to the serial table.  Each defect is simulated once
+    and every output port's detection row is read from the same solved
+    phases.
     """
-    golden = golden_run.golden
-    transition_cols = golden_run.transition_cols
     topology = golden_run.topology
     total = progress_total if progress_total is not None else len(defects)
 
-    detection = np.zeros((len(defects), len(words)), dtype=np.int8)
-    responses: Optional[List[List[V4]]] = [] if keep_responses else None
-    counters = {"simulated": 0, "skipped": 0, "solves": 0, "cache_hits": 0}
+    detection = {
+        port: np.zeros((len(defects), len(words)), dtype=np.int8)
+        for port in ports
+    }
+    responses: Optional[Dict[str, List[List[V4]]]] = (
+        {port: [] for port in ports} if keep_responses else None
+    )
+    counters = {
+        "simulated": 0, "skipped": 0, "solves": 0, "cache_hits": 0,
+        "batched": 0,
+    }
 
     for row, defect in enumerate(defects):
         effect = defect.effect(cell, params.short_resistance)
         if effect.benign or effect.is_golden:
             counters["skipped"] += 1
             if responses is not None:
-                responses.append(list(golden))
+                for port in ports:
+                    responses[port].append(list(golden_run.golden[port]))
         else:
             sim = CellSimulator(
-                cell, params=params, effect=effect, topology=topology
+                cell, params=params, effect=effect, topology=topology,
+                batched=batched,
             )
-            row_responses: List[V4] = []
-            for col, word in enumerate(words):
-                response = sim.output_response(word, output=port)
-                detection[row, col] = detect(golden[col], response)
-                row_responses.append(response)
-            if delay_detection:
-                for col in transition_cols:
-                    if detection[row, col] or row_responses[col] is not golden[col]:
-                        continue
-                    reference = golden_run.resistance[col]
-                    measured = sim.output_drive_resistance(words[col], output=port)
-                    if measured > slow_factor * reference:
-                        detection[row, col] = 1
+            solved = sim.solve_words(words, golden_run.plans)
+            for port in ports:
+                golden = golden_run.golden[port]
+                row_responses = _port_responses(
+                    solved, sim.graph.net_index[port]
+                )
+                block = detection[port]
+                for col, response in enumerate(row_responses):
+                    block[row, col] = detect(golden[col], response)
+                if delay_detection:
+                    for col in golden_run.transition_cols[port]:
+                        if block[row, col] or row_responses[col] is not golden[col]:
+                            continue
+                        reference = golden_run.resistance[port][col]
+                        measured = sim.output_drive_resistance(
+                            words[col], output=port
+                        )
+                        if measured > slow_factor * reference:
+                            block[row, col] = 1
+                if responses is not None:
+                    responses[port].append(row_responses)
             counters["simulated"] += 1
             sim_counters = sim.counters()
             counters["solves"] += sim_counters["solves"]
             counters["cache_hits"] += sim_counters["cache_hits"]
-            if responses is not None:
-                responses.append(row_responses)
+            counters["batched"] += sim_counters["batched"]
         if progress is not None:
             progress(progress_offset + row + 1, total)
 
@@ -193,12 +257,13 @@ def _defect_chunk_worker(payload):
         technology,
         params,
         policy,
-        port,
+        ports,
         defects,
         delay_detection,
         slow_factor,
         keep_responses,
         trace_enabled,
+        batched,
     ) = payload
     from repro.spice.parser import parse_cell
 
@@ -215,22 +280,25 @@ def _defect_chunk_worker(payload):
             words = make_stimuli(cell.n_inputs, policy)
             with worker_tracer.span("generate.golden", chunk=index):
                 golden_run = _GoldenRun(
-                    cell, params, words, port, delay_detection
+                    cell, params, words, ports, delay_detection,
+                    batched=batched,
                 )
             detection, responses, counters = _simulate_defect_rows(
                 cell,
                 params,
                 words,
-                port,
+                ports,
                 defects,
                 golden_run,
                 delay_detection,
                 slow_factor,
                 keep_responses,
+                batched=batched,
             )
     # The duplicated golden pass is pool overhead, not simulation work the
     # serial flow would have paid; account it separately.
     counters["golden_solves"] = golden_run.solve_count
+    counters["golden_batched"] = golden_run.batched_count
     return index, detection, responses, counters, worker_tracer.export()
 
 
@@ -260,6 +328,190 @@ def _chunk_bounds(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
     return bounds
 
 
+def _generate(
+    cell: CellNetlist,
+    params: Optional[ElectricalParams],
+    policy: str,
+    universe: Optional[Sequence[Defect]],
+    keep_responses: bool,
+    delay_detection: bool,
+    slow_factor: float,
+    ports: Sequence[str],
+    progress: Optional[Callable[[int, int], None]],
+    parallelism: Optional[int],
+    batched: bool,
+) -> Dict[str, CAModel]:
+    """Shared generation core: one sweep, one CAModel per requested port."""
+    started = time.perf_counter()
+    if params is None:
+        params = _default_params(cell)
+    for port in ports:
+        if port not in cell.outputs:
+            raise ValueError(f"{port!r} is not an output of {cell.name}")
+    resolved = resolve_policy(cell.n_inputs, policy)
+    words = make_stimuli(cell.n_inputs, resolved)
+    defects = list(universe) if universe is not None else default_universe(cell)
+
+    # All cost accounting goes through the obs metrics registry; the stats
+    # record attached to the model is derived from the registry delta at
+    # the end (single source of truth, see GenerationStats.from_metrics).
+    tracer = obs.tracer()
+    registry = obs.metrics()
+    checkpoint = registry.checkpoint()
+
+    with tracer.span(
+        "camodel.generate",
+        cell=cell.name,
+        policy=resolved,
+        defects=len(defects),
+        stimuli=len(words),
+        outputs=len(ports),
+    ) as generate_span:
+        with tracer.span("generate.golden", cell=cell.name):
+            golden_run = _GoldenRun(
+                cell, params, words, ports, delay_detection, batched=batched
+            )
+        golden_seconds = time.perf_counter() - started
+        registry.inc(M_GOLDEN_SECONDS, golden_seconds)
+
+        workers = _effective_workers(parallelism, len(defects))
+        defect_started = time.perf_counter()
+        merge_seconds = 0.0
+
+        if workers <= 1:
+            with tracer.span("generate.defects", workers=1):
+                detection, responses, counters = _simulate_defect_rows(
+                    cell,
+                    params,
+                    words,
+                    ports,
+                    defects,
+                    golden_run,
+                    delay_detection,
+                    slow_factor,
+                    keep_responses,
+                    progress=progress,
+                    batched=batched,
+                )
+            defect_seconds = time.perf_counter() - defect_started
+            workers = 1
+        else:
+            from repro.spice.writer import write_cell
+
+            cell_text = write_cell(cell)
+            bounds = _chunk_bounds(len(defects), workers)
+            payloads = [
+                (
+                    i,
+                    cell_text,
+                    cell.technology,
+                    params,
+                    resolved,
+                    tuple(ports),
+                    defects[start:stop],
+                    delay_detection,
+                    slow_factor,
+                    keep_responses,
+                    tracer.enabled,
+                    batched,
+                )
+                for i, (start, stop) in enumerate(bounds)
+            ]
+            blocks: List[Optional[Dict[str, np.ndarray]]] = [None] * len(bounds)
+            chunk_responses: List[Optional[Dict[str, List[List[V4]]]]] = (
+                [None] * len(bounds)
+            )
+            counters = {
+                "simulated": 0, "skipped": 0, "solves": 0, "cache_hits": 0,
+                "batched": 0,
+            }
+            done = 0
+            with tracer.span(
+                "generate.defects", workers=len(bounds)
+            ) as defects_span:
+                with multiprocessing.Pool(processes=len(bounds)) as pool:
+                    for index, block, block_responses, chunk_counters, spans in (
+                        pool.imap_unordered(_defect_chunk_worker, payloads)
+                    ):
+                        tracer.absorb(spans, parent_id=defects_span.span_id)
+                        blocks[index] = block
+                        chunk_responses[index] = block_responses
+                        for key in (
+                            "simulated", "skipped", "solves", "cache_hits",
+                            "batched",
+                        ):
+                            counters[key] += chunk_counters[key]
+                        counters["solves"] += chunk_counters.get("golden_solves", 0)
+                        counters["batched"] += chunk_counters.get(
+                            "golden_batched", 0
+                        )
+                        done += len(block[ports[0]])
+                        if progress is not None:
+                            progress(done, len(defects))
+            defect_seconds = time.perf_counter() - defect_started
+            merge_started = time.perf_counter()
+            with tracer.span("generate.merge", chunks=len(bounds)):
+                detection = {
+                    port: np.vstack([chunk[port] for chunk in blocks])
+                    for port in ports
+                }
+                if keep_responses:
+                    responses = {
+                        port: [
+                            row for chunk in chunk_responses
+                            for row in chunk[port]
+                        ]
+                        for port in ports
+                    }
+                else:
+                    responses = None
+            merge_seconds = time.perf_counter() - merge_started
+            workers = len(bounds)
+
+        registry.inc(M_DEFECT_SECONDS, defect_seconds)
+        if merge_seconds:
+            registry.inc(M_MERGE_SECONDS, merge_seconds)
+        registry.inc(M_SIMULATED, counters["simulated"])
+        registry.inc(M_SKIPPED, counters["skipped"])
+        registry.inc(M_SOLVES, counters["solves"] + golden_run.solve_count)
+        registry.inc(
+            M_CACHE_HITS, counters["cache_hits"] + golden_run.cache_hit_count
+        )
+        registry.inc(M_BATCHED, counters["batched"] + golden_run.batched_count)
+
+        # Same accounting formula as the serial flow (one golden pass plus one
+        # full stimulus sweep per simulated defect), so serial and parallel
+        # runs of the same cell report the same simulation_count.
+        simulation_count = len(words) * (1 + counters["simulated"])
+        total_seconds = time.perf_counter() - started
+        registry.inc(M_TOTAL_SECONDS, total_seconds)
+        generate_span.set("workers", workers)
+        generate_span.set("simulated_defects", counters["simulated"])
+        stats = GenerationStats.from_metrics(
+            registry.counter_delta(checkpoint), workers=workers
+        )
+
+    # Every port's model carries a copy of the one shared run's stats:
+    # the sweep ran once, so per-port cost attribution is not meaningful.
+    return {
+        port: CAModel(
+            cell_name=cell.name,
+            technology=cell.technology,
+            inputs=tuple(cell.inputs),
+            output=port,
+            stimuli=words,
+            golden=golden_run.golden[port],
+            defects=defects,
+            detection=detection[port],
+            responses=responses[port] if responses is not None else None,
+            simulation_count=simulation_count,
+            generation_seconds=total_seconds,
+            stats=GenerationStats.from_dict(stats.to_dict()),
+        )
+        for port in ports
+    }
+
+
 def generate_ca_model(
     cell: CellNetlist,
     params: Optional[ElectricalParams] = None,
@@ -271,6 +523,7 @@ def generate_ca_model(
     output: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     parallelism: Optional[int] = None,
+    batched: bool = True,
 ) -> CAModel:
     """Run the conventional generation flow for one cell.
 
@@ -300,167 +553,62 @@ def generate_ca_model(
         Worker processes for the defect loop (``None``/``1`` = serial).
         The detection table is byte-identical to the serial run; small
         universes fall back to the serial kernel automatically.
+    batched:
+        Solve stimulus sets through the vectorized batch kernel
+        (byte-identical results; ``False`` forces the scalar reference
+        path, mainly useful for differential testing and benchmarks).
     """
-    started = time.perf_counter()
-    if params is None:
-        params = _default_params(cell)
     port = output or cell.outputs[0]
-    if port not in cell.outputs:
-        raise ValueError(f"{port!r} is not an output of {cell.name}")
-    resolved = resolve_policy(cell.n_inputs, policy)
-    words = make_stimuli(cell.n_inputs, resolved)
-    defects = list(universe) if universe is not None else default_universe(cell)
-
-    # All cost accounting goes through the obs metrics registry; the stats
-    # record attached to the model is derived from the registry delta at
-    # the end (single source of truth, see GenerationStats.from_metrics).
-    tracer = obs.tracer()
-    registry = obs.metrics()
-    checkpoint = registry.checkpoint()
-
-    with tracer.span(
-        "camodel.generate",
-        cell=cell.name,
-        policy=resolved,
-        defects=len(defects),
-        stimuli=len(words),
-    ) as generate_span:
-        with tracer.span("generate.golden", cell=cell.name):
-            golden_run = _GoldenRun(cell, params, words, port, delay_detection)
-        golden_seconds = time.perf_counter() - started
-        registry.inc(M_GOLDEN_SECONDS, golden_seconds)
-
-        workers = _effective_workers(parallelism, len(defects))
-        defect_started = time.perf_counter()
-        merge_seconds = 0.0
-
-        if workers <= 1:
-            with tracer.span("generate.defects", workers=1):
-                detection, responses, counters = _simulate_defect_rows(
-                    cell,
-                    params,
-                    words,
-                    port,
-                    defects,
-                    golden_run,
-                    delay_detection,
-                    slow_factor,
-                    keep_responses,
-                    progress=progress,
-                )
-            defect_seconds = time.perf_counter() - defect_started
-            workers = 1
-        else:
-            from repro.spice.writer import write_cell
-
-            cell_text = write_cell(cell)
-            bounds = _chunk_bounds(len(defects), workers)
-            payloads = [
-                (
-                    i,
-                    cell_text,
-                    cell.technology,
-                    params,
-                    resolved,
-                    port,
-                    defects[start:stop],
-                    delay_detection,
-                    slow_factor,
-                    keep_responses,
-                    tracer.enabled,
-                )
-                for i, (start, stop) in enumerate(bounds)
-            ]
-            blocks: List[Optional[np.ndarray]] = [None] * len(bounds)
-            chunk_responses: List[Optional[List[List[V4]]]] = [None] * len(bounds)
-            counters = {"simulated": 0, "skipped": 0, "solves": 0, "cache_hits": 0}
-            done = 0
-            with tracer.span(
-                "generate.defects", workers=len(bounds)
-            ) as defects_span:
-                with multiprocessing.Pool(processes=len(bounds)) as pool:
-                    for index, block, block_responses, chunk_counters, spans in (
-                        pool.imap_unordered(_defect_chunk_worker, payloads)
-                    ):
-                        tracer.absorb(spans, parent_id=defects_span.span_id)
-                        blocks[index] = block
-                        chunk_responses[index] = block_responses
-                        for key in ("simulated", "skipped", "solves", "cache_hits"):
-                            counters[key] += chunk_counters[key]
-                        counters["solves"] += chunk_counters.get("golden_solves", 0)
-                        done += len(block)
-                        if progress is not None:
-                            progress(done, len(defects))
-            defect_seconds = time.perf_counter() - defect_started
-            merge_started = time.perf_counter()
-            with tracer.span("generate.merge", chunks=len(bounds)):
-                detection = np.vstack(blocks)
-                if keep_responses:
-                    responses = [row for chunk in chunk_responses for row in chunk]
-                else:
-                    responses = None
-            merge_seconds = time.perf_counter() - merge_started
-            workers = len(bounds)
-
-        registry.inc(M_DEFECT_SECONDS, defect_seconds)
-        if merge_seconds:
-            registry.inc(M_MERGE_SECONDS, merge_seconds)
-        registry.inc(M_SIMULATED, counters["simulated"])
-        registry.inc(M_SKIPPED, counters["skipped"])
-        registry.inc(M_SOLVES, counters["solves"] + golden_run.solve_count)
-        registry.inc(
-            M_CACHE_HITS, counters["cache_hits"] + golden_run.cache_hit_count
-        )
-
-        # Same accounting formula as the serial flow (one golden pass plus one
-        # full stimulus sweep per simulated defect), so serial and parallel
-        # runs of the same cell report the same simulation_count.
-        simulation_count = len(words) * (1 + counters["simulated"])
-        total_seconds = time.perf_counter() - started
-        registry.inc(M_TOTAL_SECONDS, total_seconds)
-        generate_span.set("workers", workers)
-        generate_span.set("simulated_defects", counters["simulated"])
-        stats = GenerationStats.from_metrics(
-            registry.counter_delta(checkpoint), workers=workers
-        )
-
-    return CAModel(
-        cell_name=cell.name,
-        technology=cell.technology,
-        inputs=tuple(cell.inputs),
-        output=port,
-        stimuli=words,
-        golden=golden_run.golden,
-        defects=defects,
-        detection=detection,
-        responses=responses,
-        simulation_count=simulation_count,
-        generation_seconds=total_seconds,
-        stats=stats,
+    models = _generate(
+        cell,
+        params,
+        policy,
+        universe,
+        keep_responses,
+        delay_detection,
+        slow_factor,
+        [port],
+        progress,
+        parallelism,
+        batched,
     )
+    return models[port]
 
 
 def generate_multi(
     cell: CellNetlist,
     params: Optional[ElectricalParams] = None,
     policy: str = "auto",
-    **kwargs,
-) -> dict:
-    """Characterize every output of a multi-output cell.
+    universe: Optional[Sequence[Defect]] = None,
+    keep_responses: bool = False,
+    delay_detection: bool = True,
+    slow_factor: float = DEFAULT_SLOW_FACTOR,
+    progress: Optional[Callable[[int, int], None]] = None,
+    parallelism: Optional[int] = None,
+    batched: bool = True,
+) -> Dict[str, CAModel]:
+    """Characterize every output of a multi-output cell in one sweep.
 
-    Industrial CA flows keep one detection table per output; this wrapper
-    returns ``{output port: CAModel}``.  Extra keyword arguments —
-    including ``parallelism`` — are forwarded to
-    :func:`generate_ca_model` per output.  (Each output currently re-runs
-    the defect simulations; the per-cell phase caches keep the overhead
-    modest for the handful of multi-output cells.)
+    Industrial CA flows keep one detection table per output; this returns
+    ``{output port: CAModel}``.  The cell's topology, golden pass and
+    defect simulations run **once**: every solved phase carries the codes
+    of all nets, so each port's detection table is read from the same
+    sweep instead of re-simulating the universe per output.  Each model
+    carries a copy of the shared run's stats.
     """
-    return {
-        port: generate_ca_model(
-            cell, params=params, policy=policy, output=port, **kwargs
-        )
-        for port in cell.outputs
-    }
+    return _generate(
+        cell,
+        params,
+        policy,
+        universe,
+        keep_responses,
+        delay_detection,
+        slow_factor,
+        list(cell.outputs),
+        progress,
+        parallelism,
+        batched,
+    )
 
 
 def _default_params(cell: CellNetlist) -> ElectricalParams:

@@ -21,6 +21,7 @@ from repro.spice.netlist import CellNetlist
 # ----------------------------------------------------------------------
 M_SOLVES = "camodel.sim.solves"
 M_CACHE_HITS = "camodel.sim.cache_hits"
+M_BATCHED = "camodel.sim.batched_phases"
 M_SIMULATED = "camodel.defects.simulated"
 M_SKIPPED = "camodel.defects.skipped"
 M_GOLDEN_SECONDS = "camodel.seconds.golden"
@@ -47,6 +48,9 @@ class GenerationStats:
     solves: int = 0
     #: memoized phase lookups answered without a solve
     cache_hits: int = 0
+    #: phase solves that ran through the vectorized batch kernel (a
+    #: subset of ``solves``; 0 when the scalar path was forced)
+    batched_phases: int = 0
     #: defects that went through the simulator
     simulated_defects: int = 0
     #: benign / golden-equivalent defects short-circuited before any solver
@@ -104,6 +108,7 @@ class GenerationStats:
             workers=workers,
             solves=int(counters.get(M_SOLVES, 0)),
             cache_hits=int(counters.get(M_CACHE_HITS, 0)),
+            batched_phases=int(counters.get(M_BATCHED, 0)),
             simulated_defects=int(counters.get(M_SIMULATED, 0)),
             skipped_defects=int(counters.get(M_SKIPPED, 0)),
             golden_seconds=float(counters.get(M_GOLDEN_SECONDS, 0.0)),
@@ -118,6 +123,7 @@ class GenerationStats:
             "workers": self.workers,
             "solves": self.solves,
             "cache_hits": self.cache_hits,
+            "batched_phases": self.batched_phases,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "simulated_defects": self.simulated_defects,
             "skipped_defects": self.skipped_defects,

@@ -81,6 +81,7 @@ def _cell_from_name(tech, cell_name: str):
 
 def cmd_generate(args) -> int:
     cells = _load_cells(args.netlist)
+    batched = not getattr(args, "scalar", False)
     if args.processes and args.processes > 1:
         from repro.camodel import generate_library
 
@@ -89,12 +90,16 @@ def cmd_generate(args) -> int:
             policy=args.policy,
             processes=args.processes,
             parallelism=args.parallelism,
+            batched=batched,
         )
         models = [by_name[cell.name] for cell in cells]
     else:
         models = [
             generate_ca_model(
-                cell, policy=args.policy, parallelism=args.parallelism
+                cell,
+                policy=args.policy,
+                parallelism=args.parallelism,
+                batched=batched,
             )
             for cell in cells
         ]
@@ -104,6 +109,7 @@ def cmd_generate(args) -> int:
             stats = model.stats
             print(
                 f"  generation: workers={stats.workers} solves={stats.solves} "
+                f"batched={stats.batched_phases} "
                 f"cache_hits={stats.cache_hits} "
                 f"(hit rate {stats.cache_hit_rate:.1%}), "
                 f"golden {stats.golden_seconds:.3f}s + "
@@ -267,6 +273,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print per-cell generation cost accounting (solves, caches, timings)",
+    )
+    p.add_argument(
+        "--scalar",
+        action="store_true",
+        help="force the scalar reference solver (disable the vectorized "
+        "batch kernel; results are byte-identical either way)",
     )
     p.set_defaults(func=cmd_generate)
 

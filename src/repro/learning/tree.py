@@ -197,12 +197,19 @@ class DecisionTreeClassifier:
         return len(self._nodes)
 
     def depth(self) -> int:
-        """Actual depth of the grown tree."""
+        """Actual depth of the grown tree.
 
-        def walk(node_id: int) -> int:
+        Iterative: children are always appended after their parent, so a
+        single reverse pass over the node list computes every subtree
+        depth bottom-up.  Degenerate chain-shaped trees (one node per
+        level, as ``max_depth=None`` can grow on adversarial data) must
+        not hit Python's recursion limit here.
+        """
+        if not self._nodes:
+            return 0
+        below = [0] * len(self._nodes)
+        for node_id in range(len(self._nodes) - 1, -1, -1):
             node = self._nodes[node_id]
-            if node.is_leaf:
-                return 0
-            return 1 + max(walk(node.left), walk(node.right))
-
-        return walk(0) if self._nodes else 0
+            if not node.is_leaf:
+                below[node_id] = 1 + max(below[node.left], below[node.right])
+        return below[0]

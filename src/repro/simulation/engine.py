@@ -16,18 +16,26 @@ with charge retention and gate-open lag fed from the initial phase.
 
 Solved phases are memoized per (final vector, initial vector), which makes
 exhaustive-stimulus characterization cost O(4^n) solves instead of
-O(4^n * patterns).
+O(4^n * patterns).  :meth:`CellSimulator.solve_words` additionally plans a
+whole stimulus set at once: the unique phases still missing from the caches
+are solved in one or two :meth:`~repro.simulation.solver.StaticSolver.solve_batch`
+calls (memoryless first, then the history-dependent survivors), and the
+per-word assembly then runs entirely against warm caches.  When the
+simulator shares a :class:`~repro.simulation.switchgraph.CellTopology`, the
+caches themselves are shared across defects with signature-equal effects.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.library.technology import ElectricalParams
-from repro.logic.fourval import V4, final_phase, initial_phase
-from repro.simulation.solver import StaticSolver, X
+from repro.logic.fourval import V4, final_phase, initial_phase, word_from_phases
+from repro.simulation.solver import SolveResult, StaticSolver, X
 from repro.simulation.switchgraph import (
     CellTopology,
     DRIVER_RESISTANCE,
@@ -38,10 +46,33 @@ from repro.simulation.switchgraph import (
 from repro.spice.netlist import CellNetlist
 
 PhaseKey = Tuple[Tuple[int, ...], Optional[Tuple[int, ...]]]
+#: split form of one stimulus word: (initial vector, final vector, dynamic)
+WordPlan = Tuple[Tuple[int, ...], Tuple[int, ...], bool]
 
 
 class SimulationError(RuntimeError):
     """Raised for malformed stimuli."""
+
+
+def split_word(
+    word: Sequence[V4], n_inputs: int, cell_name: str = "?"
+) -> WordPlan:
+    """Validate and split a stimulus word into its two phase vectors.
+
+    Returns ``(initial, final, dynamic)``.  Splitting is a property of the
+    word alone, so a sweep over many simulators of the same cell computes
+    it once per word and passes it via the ``plan`` arguments.
+    """
+    if len(word) != n_inputs:
+        raise SimulationError(
+            f"stimulus has {len(word)} symbols, cell {cell_name} "
+            f"has {n_inputs} inputs"
+        )
+    first = initial_phase(word)
+    second = final_phase(word)
+    if any(v < 0 for v in first) or any(v < 0 for v in second):
+        raise SimulationError(f"stimulus contains X: {word}")
+    return first, second, first != second
 
 
 class CellSimulator:
@@ -54,19 +85,28 @@ class CellSimulator:
         effect: DefectEffect = GOLDEN,
         driver_resistance: float = DRIVER_RESISTANCE,
         topology: Optional[CellTopology] = None,
+        batched: bool = True,
     ):
         self.cell = cell
         self.effect = effect
+        self.batched = batched
         if topology is not None:
             self.graph = topology.graph(effect)
+            # Cross-defect sharing: signature-equal effects build identical
+            # graphs, so their memoized phases are interchangeable.
+            memoryless, history, drive = topology.phase_caches(effect)
         else:
             self.graph = SwitchGraph(
                 cell, params=params, effect=effect,
                 driver_resistance=driver_resistance,
             )
+            memoryless, history, drive = {}, {}, {}
         self.solver = StaticSolver(self.graph)
-        self._memoryless_cache: Dict[Tuple[int, ...], "SolveResult"] = {}
-        self._phase_cache: Dict[PhaseKey, List[int]] = {}
+        self._memoryless_cache: Dict[Tuple[int, ...], SolveResult] = memoryless
+        self._phase_cache: Dict[PhaseKey, List[int]] = history
+        # Batch-solved phases awaiting their first (counted) lookup.
+        self._staged_memoryless: Dict[Tuple[int, ...], SolveResult] = {}
+        self._staged_history: Dict[PhaseKey, List[int]] = {}
         self._has_gate_open = bool(effect.gate_open)
         self._observable_nodes = [
             node
@@ -78,11 +118,14 @@ class CellSimulator:
         # solved code lists: ids of freed lists are recycled and alias.)
         self._drive_cache: Dict[
             Tuple[Tuple[int, ...], Tuple[int, ...], int], float
-        ] = {}
+        ] = drive
         #: number of phase solves actually performed (cost accounting)
         self.solve_count = 0
         #: memoized phase lookups served without a solve (cost accounting)
         self.cache_hit_count = 0
+        #: phases solved through the vectorized batch kernel (a subset of
+        #: ``solve_count``; cost accounting for the batched path)
+        self.batched_count = 0
 
     def counters(self) -> Dict[str, int]:
         """Solve vs. memo-hit counts of this simulator instance.
@@ -93,14 +136,20 @@ class CellSimulator:
         the :class:`~repro.camodel.stats.GenerationStats` attached to each
         model is derived.
         """
-        return {"solves": self.solve_count, "cache_hits": self.cache_hit_count}
+        return {
+            "solves": self.solve_count,
+            "cache_hits": self.cache_hit_count,
+            "batched": self.batched_count,
+        }
 
     # ------------------------------------------------------------------
     def _memoryless(self, vector: Tuple[int, ...]):
         """History-free solve of one static vector, memoized per vector."""
         result = self._memoryless_cache.get(vector)
         if result is None:
-            result = self.solver.solve(vector, None)
+            result = self._staged_memoryless.pop(vector, None)
+            if result is None:
+                result = self.solver.solve(vector, None)
             self.solve_count += 1
             self._memoryless_cache[vector] = result
         else:
@@ -126,13 +175,15 @@ class CellSimulator:
             return base.codes
         if not base.retention_used and not self._has_gate_open:
             return base.codes
-        obs = tuple(prev_codes[n] for n in self._observable_nodes)
-        key = (vector, obs)
+        observed = tuple(prev_codes[n] for n in self._observable_nodes)
+        key = (vector, observed)
         cached = self._phase_cache.get(key)
         if cached is not None:
             self.cache_hit_count += 1
             return cached
-        codes = self.solver.solve(vector, prev_codes).codes
+        codes = self._staged_history.pop(key, None)
+        if codes is None:
+            codes = self.solver.solve(vector, prev_codes).codes
         self.solve_count += 1
         self._phase_cache[key] = codes
         return codes
@@ -146,31 +197,112 @@ class CellSimulator:
         prev_codes = self._phase(prev_vector) if prev_vector is not None else None
         return self._phase_with_codes(vector, prev_codes)
 
-    def _split_word(self, word: Sequence[V4]) -> Tuple[Tuple[int, ...], Tuple[int, ...], bool]:
-        if len(word) != len(self.cell.inputs):
-            raise SimulationError(
-                f"stimulus has {len(word)} symbols, cell {self.cell.name} "
-                f"has {len(self.cell.inputs)} inputs"
-            )
-        first = initial_phase(word)
-        second = final_phase(word)
-        if any(v < 0 for v in first) or any(v < 0 for v in second):
-            raise SimulationError(f"stimulus contains X: {word}")
-        return first, second, first != second
+    def _split_word(self, word: Sequence[V4]) -> WordPlan:
+        return split_word(word, len(self.cell.inputs), self.cell.name)
 
     # ------------------------------------------------------------------
-    def solve_word(self, word: Sequence[V4]) -> Tuple[List[int], List[int]]:
+    def solve_word(
+        self, word: Sequence[V4], plan: Optional[WordPlan] = None
+    ) -> Tuple[List[int], List[int]]:
         """Solve a word; returns (initial codes, final codes) per node.
 
-        For a static word both phases are the same solved state.
+        For a static word both phases are the same solved state.  *plan*
+        is the precomputed :func:`split_word` of *word* (an optimization
+        for sweeping one word list over many simulators).
         """
-        first, second, dynamic = self._split_word(word)
+        first, second, dynamic = plan if plan is not None else self._split_word(word)
         if not dynamic:
             codes = self._phase(second)
             return codes, codes
         codes1 = self._phase(first)
         codes2 = self._phase(second, prev_vector=first)
         return codes1, codes2
+
+    def solve_words(
+        self,
+        words: Sequence[Sequence[V4]],
+        plans: Optional[Sequence[WordPlan]] = None,
+    ) -> List[Tuple[List[int], List[int]]]:
+        """Solve a whole stimulus set, batch-planning the missing phases.
+
+        Plans the unique phase set once: distinct vectors absent from the
+        memoryless cache go through one vectorized
+        :meth:`~repro.simulation.solver.StaticSolver.solve_batch` call;
+        the history-dependent survivors (words whose base solve used
+        charge retention, or any word under a gate-open defect) go through
+        a second.  Per-word assembly then runs the ordinary scalar path
+        against warm caches, so solve/cache-hit counter sequences — and
+        results — are identical to calling :meth:`solve_word` in a loop.
+
+        *plans* is the precomputed per-word :func:`split_word` output; the
+        generation flow computes it once per stimulus list and reuses it
+        across every defect of a cell.
+        """
+        if plans is None:
+            plans = [self._split_word(word) for word in words]
+        if not self.batched:
+            return [
+                self.solve_word(word, plan)
+                for word, plan in zip(words, plans)
+            ]
+
+        # Stage 1: memoryless solve of every distinct phase vector.
+        need: List[Tuple[int, ...]] = []
+        seen = set()
+        for first, second, dynamic in plans:
+            for vector in (first, second) if dynamic else (second,):
+                if vector in seen or vector in self._memoryless_cache:
+                    continue
+                seen.add(vector)
+                need.append(vector)
+        if need:
+            with obs.tracer().span(
+                "solver.batch", phases=len(need), history=False
+            ):
+                solved = self.solver.solve_batch(need)
+            self.batched_count += len(need)
+            self._staged_memoryless.update(zip(need, solved))
+
+        # Stage 2: history-dependent phases the base solve cannot answer.
+        pending: List[PhaseKey] = []
+        prevs: List[List[int]] = []
+        pending_seen = set()
+        for first, second, dynamic in plans:
+            if not dynamic:
+                continue
+            base = self._memoryless_cache.get(second)
+            if base is None:
+                base = self._staged_memoryless[second]
+            if not base.retention_used and not self._has_gate_open:
+                continue
+            prev = self._memoryless_cache.get(first)
+            if prev is None:
+                prev = self._staged_memoryless[first]
+            prev_codes = prev.codes
+            key = (
+                second,
+                tuple(prev_codes[n] for n in self._observable_nodes),
+            )
+            if key in self._phase_cache or key in pending_seen:
+                continue
+            pending_seen.add(key)
+            pending.append(key)
+            prevs.append(prev_codes)
+        if pending:
+            with obs.tracer().span(
+                "solver.batch", phases=len(pending), history=True
+            ):
+                solved = self.solver.solve_batch(
+                    [key[0] for key in pending], prevs
+                )
+            self.batched_count += len(pending)
+            for key, result in zip(pending, solved):
+                self._staged_history[key] = result.codes
+
+        # Stage 3: per-word assembly against warm caches.
+        return [
+            self.solve_word(word, plan) for word, plan in zip(words, plans)
+        ]
 
     def output_response(self, word: Sequence[V4], output: Optional[str] = None) -> V4:
         """Four-valued response on a cell output (first output default)."""
@@ -333,15 +465,19 @@ def logic_check(
     Returns mismatches as (vector, simulated, expected); an empty list
     means the netlist implements the function.
     """
-    import itertools
-
     sim = golden_simulator(cell, params)
     port = output or cell.outputs[0]
+    node = sim.graph.net_index[port]
+    vectors = list(itertools.product((0, 1), repeat=len(cell.inputs)))
+    words = [
+        word_from_phases(bits, bits)
+        for bits in vectors
+    ]
+    solved = sim.solve_words(words)
     mismatches = []
-    for bits in itertools.product((0, 1), repeat=len(cell.inputs)):
+    for bits, (_codes1, codes2) in zip(vectors, solved):
         env = dict(zip(cell.inputs, bits))
-        codes = sim.static_net_codes(bits)
-        got = codes[port]
+        got = codes2[node]
         want = expected.evaluate(env)
         if got != want:
             mismatches.append((bits, got, want))

@@ -74,6 +74,14 @@ class CellTopology:
     device on-conductances are identical across the whole universe.  A
     topology is built once per (cell, params, driver resistance) and
     cheaply specialized per :class:`DefectEffect` via :meth:`graph`.
+
+    The topology also hosts the **cross-defect phase cache**: two defects
+    whose effects leave the touched subgraph identical (same removed
+    channels, same gate opens, same resistive bridges — e.g. the drain
+    open and the source open of one transistor) build byte-identical
+    switch graphs, so their solved phases are interchangeable.
+    :meth:`phase_caches` hands every simulator of the same effect
+    signature the same memoization dicts, collapsing that duplicate work.
     """
 
     def __init__(
@@ -114,6 +122,43 @@ class CellTopology:
             (self.source_index[pin], self.net_index[pin], g_drv)
             for pin in cell.inputs
         ]
+        self._device_names: FrozenSet[str] = frozenset(
+            t.name for t in cell.transistors
+        )
+        #: effect signature -> (memoryless, history, drive) cache dicts
+        self._phase_caches: Dict[tuple, Tuple[dict, dict, dict]] = {}
+
+    def effect_signature(self, effect: DefectEffect) -> tuple:
+        """Canonical key of the switch graph *effect* builds.
+
+        Two effects with equal signatures produce identical device lists
+        and identical (ordered) static-edge lists, hence byte-identical
+        solver results.  Bridge order is preserved — not sorted — so even
+        the floating-point summation order of a contention solve matches.
+        """
+        removed = frozenset(effect.removed & self._device_names)
+        remaining = self._device_names - removed
+        gate_open = frozenset(effect.gate_open & remaining)
+        bridges = tuple(
+            (self.net_index[a], self.net_index[b], float(r))
+            for a, b, r in effect.bridges
+            if self.net_index[a] != self.net_index[b]
+        )
+        return (removed, gate_open, bridges)
+
+    def phase_caches(self, effect: DefectEffect) -> Tuple[dict, dict, dict]:
+        """Shared (memoryless, history, drive) caches for *effect*.
+
+        Every simulator built on this topology with a signature-equal
+        effect gets the same dicts, so phases solved under one defect are
+        served as cache hits to the next.
+        """
+        signature = self.effect_signature(effect)
+        caches = self._phase_caches.get(signature)
+        if caches is None:
+            caches = ({}, {}, {})
+            self._phase_caches[signature] = caches
+        return caches
 
     def _ron(self, t: Transistor) -> float:
         rsq = self.params.rsq_nmos if t.is_nmos else self.params.rsq_pmos

@@ -68,6 +68,48 @@ class TestDecisionTree:
         with pytest.raises(ValueError):
             DecisionTreeClassifier().fit(np.zeros((0, 3)), np.zeros(0))
 
+    def test_depth_on_degenerate_chain(self):
+        """depth() must survive trees far deeper than the recursion limit.
+
+        ``fit`` cannot grow such a tree in-process (``_grow`` itself
+        recurses), so build the node list directly: a left-descending
+        chain with one leaf hanging off every internal node, the shape a
+        pathological ``max_depth=None`` fit degenerates to.
+        """
+        import sys
+
+        from repro.learning.tree import _Node
+
+        chain = sys.getrecursionlimit() * 3
+        tree = DecisionTreeClassifier()
+        counts = np.array([1.0, 1.0])
+        nodes = []
+        for level in range(chain):
+            # internal node at 2*level: right leaf at 2*level+1, left
+            # child at 2*level+2 (the next internal node, or the final
+            # leaf after the loop).
+            nodes.append(
+                _Node(
+                    feature=0,
+                    threshold=0.5,
+                    left=2 * level + 2,
+                    right=2 * level + 1,
+                    counts=counts,
+                )
+            )
+            nodes.append(_Node(counts=counts))
+        nodes.append(_Node(counts=counts))  # final left leaf
+        tree._nodes = nodes
+        assert tree.depth() == chain
+
+    def test_depth_matches_fitted_shape(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        depth = tree.depth()
+        assert 1 <= depth <= 4
+        # Node count bounds the depth from below for a binary tree.
+        assert tree.node_count >= 2 * depth + 1
+
     def test_misaligned_rejected(self):
         with pytest.raises(ValueError):
             DecisionTreeClassifier().fit(np.zeros((5, 3)), np.zeros(4))

@@ -60,6 +60,31 @@ class TestPerOutputGeneration:
         assert covered_union > models["Z"].coverage()
         assert covered_union > models["CO"].coverage()
 
+    def test_single_sweep_matches_per_port_runs(self, ha1):
+        """One golden pass + one defect loop must serve every port.
+
+        The per-port tables have to match dedicated single-output runs,
+        and the shared sweep must not pay the O(outputs) simulation
+        cost: both returned models describe the *same* run, so their
+        solve counts are equal to each other and well below the summed
+        per-port cost.
+        """
+        models = generate_multi(ha1, SOI28.electrical, keep_responses=True)
+        per_port = {
+            port: generate_ca_model(
+                ha1, SOI28.electrical, output=port, keep_responses=True
+            )
+            for port in ("Z", "CO")
+        }
+        for port, model in models.items():
+            assert model.golden == per_port[port].golden
+            assert (model.detection == per_port[port].detection).all()
+            assert model.responses == per_port[port].responses
+        solves = {m.stats.solves for m in models.values()}
+        assert len(solves) == 1  # one shared sweep, not one per output
+        total_dedicated = sum(m.stats.solves for m in per_port.values())
+        assert models["Z"].stats.solves < total_dedicated
+
     def test_bad_output_rejected(self, ha1):
         with pytest.raises(ValueError):
             generate_ca_model(ha1, params=SOI28.electrical, output="Q")
