@@ -21,6 +21,8 @@ setup(
     install_requires=["numpy", "networkx"],
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis", "scipy"],
+        # coverage gate run by CI (.github/workflows/ci.yml, coverage job)
+        "cov": ["pytest-cov"],
         # lint gate run by CI (.github/workflows/ci.yml); config in .ruff.toml
         "lint": ["ruff"],
     },

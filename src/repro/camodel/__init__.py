@@ -26,7 +26,7 @@ from repro.camodel.io import (
     save_model,
     save_models,
 )
-from repro.camodel.batch import generate_library
+from repro.camodel.batch import LibraryGenerationError, generate_library
 from repro.camodel.merge import MergedModel, MergeError, merge_models
 from repro.camodel.udfm import parse_udfm, save_udfm, to_udfm
 from repro.camodel.compare import ComparisonError, LibraryDiff, ModelDiff, compare_models
@@ -80,6 +80,7 @@ __all__ = [
     "LibraryDiff",
     "ComparisonError",
     "generate_library",
+    "LibraryGenerationError",
     "to_udfm",
     "save_udfm",
     "parse_udfm",

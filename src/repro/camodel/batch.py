@@ -18,7 +18,9 @@ alternatives: pool workers are daemonic and run the defect loop serially.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, Optional, Sequence, Tuple
+import traceback
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro import obs
 from repro.camodel.generate import DEFAULT_SLOW_FACTOR, generate_ca_model
@@ -30,26 +32,63 @@ from repro.spice.netlist import CellNetlist
 from repro.spice.writer import write_cell
 
 
+class LibraryGenerationError(RuntimeError):
+    """One or more cells failed; every completed sibling is attached.
+
+    ``completed`` holds the models of every cell that finished before
+    (or while) the failures happened, so a caller can keep partial
+    results instead of losing the whole run; ``failures`` is a list of
+    ``{"cell", "error", "traceback"}`` records.  For retry / quarantine
+    / resume semantics on top of this, use the run-dir path
+    (``run_dir=...`` or :func:`repro.resilience.run_library`).
+    """
+
+    def __init__(
+        self,
+        failures: List[Dict[str, str]],
+        completed: Dict[str, CAModel],
+    ):
+        self.failures = failures
+        self.completed = completed
+        names = ", ".join(sorted(f["cell"] for f in failures))
+        super().__init__(
+            f"{len(failures)} cell(s) failed during library generation "
+            f"({names}); {len(completed)} completed model(s) attached as "
+            ".completed"
+        )
+
+
 def _characterize_worker(payload):
     """Worker: parse the cell text, generate, return a serialized model.
 
     Runs under a fresh obs scope: the span buffer and metric snapshot ride
     back with the model so the parent can merge them into one coherent
-    run-level trace and registry.
+    run-level trace and registry.  Exceptions are returned as structured
+    error tuples instead of propagating, so one bad cell cannot discard
+    the pool's completed siblings.
     """
-    cell_text, technology, policy, kwargs, trace_enabled = payload
+    name, cell_text, technology, policy, kwargs, trace_enabled = payload
     from repro.spice.parser import parse_cell
 
     worker_tracer = obs.Tracer(enabled=trace_enabled)
     worker_metrics = obs.Metrics()
-    with obs.scoped(
-        tracer=worker_tracer,
-        metrics=worker_metrics,
-        events=obs.EventLog(obs.NullSink()),
-    ):
-        cell = parse_cell(cell_text, technology=technology)
-        model = generate_ca_model(cell, policy=policy, **kwargs)
+    try:
+        with obs.scoped(
+            tracer=worker_tracer,
+            metrics=worker_metrics,
+            events=obs.EventLog(obs.NullSink()),
+        ):
+            cell = parse_cell(cell_text, technology=technology)
+            model = generate_ca_model(cell, policy=policy, **kwargs)
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        return (
+            "error",
+            name,
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(),
+        )
     return (
+        "ok",
         cell.name,
         model_to_dict(model),
         worker_tracer.export(),
@@ -68,6 +107,10 @@ def generate_library(
     slow_factor: float = DEFAULT_SLOW_FACTOR,
     parallelism: Optional[int] = None,
     batched: bool = True,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    retries: int = 1,
+    cell_timeout: Optional[float] = None,
 ) -> Dict[str, CAModel]:
     """Characterize many cells, optionally in parallel.
 
@@ -80,7 +123,36 @@ def generate_library(
     effect on the inline path (pool workers cannot fork further).
     Returns ``{cell name: CAModel}``; duplicate cell names are an error
     (the later model would silently shadow the earlier one).
+
+    If any cell fails, the completed siblings are never discarded: the
+    raised :class:`LibraryGenerationError` carries them as
+    ``.completed``.  Passing ``run_dir`` switches to the checkpointed
+    resilient runner (:func:`repro.resilience.run_library`): per-cell
+    state and model artifacts persist to the directory, ``resume=True``
+    continues a killed run, and failures are retried (``retries``,
+    ``cell_timeout``) then quarantined — the dict returned is then the
+    (possibly partial) set of completed models.
     """
+    if run_dir is not None:
+        from repro.resilience.runner import run_library
+
+        result = run_library(
+            cells,
+            run_dir=run_dir,
+            policy=policy,
+            processes=processes,
+            resume=resume,
+            retries=retries,
+            cell_timeout=cell_timeout,
+            params=params,
+            universe=universe,
+            delay_detection=delay_detection,
+            slow_factor=slow_factor,
+            parallelism=parallelism,
+            batched=batched,
+        )
+        return result.models
+
     names = [cell.name for cell in cells]
     duplicates = sorted({n for n in names if names.count(n) > 1})
     if duplicates:
@@ -97,30 +169,57 @@ def generate_library(
     )
     tracer = obs.tracer()
     registry = obs.metrics()
+    out: Dict[str, CAModel] = {}
+    failures: List[Dict[str, str]] = []
     if processes is None or processes <= 1:
         with tracer.span(
             "camodel.generate_library", cells=len(cells), processes=1
         ):
-            return {
-                cell.name: generate_ca_model(
-                    cell, policy=policy, parallelism=parallelism, **kwargs
-                )
-                for cell in cells
-            }
+            for cell in cells:
+                try:
+                    out[cell.name] = generate_ca_model(
+                        cell, policy=policy, parallelism=parallelism, **kwargs
+                    )
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    failures.append(
+                        {
+                            "cell": cell.name,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "traceback": traceback.format_exc(),
+                        }
+                    )
+        if failures:
+            raise LibraryGenerationError(failures, completed=out)
+        return out
 
     payloads = [
-        (write_cell(cell), cell.technology, policy, kwargs, tracer.enabled)
+        (
+            cell.name,
+            write_cell(cell),
+            cell.technology,
+            policy,
+            kwargs,
+            tracer.enabled,
+        )
         for cell in cells
     ]
-    out: Dict[str, CAModel] = {}
     with tracer.span(
         "camodel.generate_library", cells=len(cells), processes=processes
     ) as library_span:
         with multiprocessing.Pool(processes=processes) as pool:
-            for name, data, spans, metric_snapshot in pool.imap_unordered(
+            for item in pool.imap_unordered(
                 _characterize_worker, payloads, chunksize=chunksize
             ):
+                if item[0] == "error":
+                    _, name, error, tb = item
+                    failures.append(
+                        {"cell": name, "error": error, "traceback": tb}
+                    )
+                    continue
+                _, name, data, spans, metric_snapshot = item
                 tracer.absorb(spans, parent_id=library_span.span_id)
                 registry.merge(metric_snapshot)
                 out[name] = model_from_dict(data)
+    if failures:
+        raise LibraryGenerationError(failures, completed=out)
     return out

@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.resilience import faults as _faults
 from repro.camodel.model import CAModel
 from repro.camodel.stats import (
     GenerationStats,
@@ -367,6 +368,10 @@ def _generate(
         stimuli=len(words),
         outputs=len(ports),
     ) as generate_span:
+        # Fault-injection seam: a scripted 'raise'-mode fault surfaces
+        # here as an exception from inside generation (no-op when no
+        # plan is armed; see repro.resilience.faults).
+        _faults.fire(_faults.SITE_SOLVER, cell=cell.name)
         with tracer.span("generate.golden", cell=cell.name):
             golden_run = _GoldenRun(
                 cell, params, words, ports, delay_detection, batched=batched

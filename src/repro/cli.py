@@ -3,6 +3,7 @@
 Subcommands mirror the flows of the paper::
 
     python -m repro generate  CELL.sp -o model.json     # Fig. 1
+    python -m repro batch     CELLS.sp --run-dir RUN    # resumable runs
     python -m repro rename    CELL.sp                   # Section III
     python -m repro predict   CELL.sp -t models.json    # Fig. 2
     python -m repro hybrid    CELLS.sp -t models.json   # Fig. 7
@@ -123,6 +124,53 @@ def cmd_generate(args) -> int:
         else:
             save_models(models, args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    """Checkpointed library characterization with resume and quarantine."""
+    from repro.resilience import FaultPlan, RunDirError
+    from repro.resilience.runner import run_library
+
+    cells = _load_cells(args.netlist)
+    fault_plan = FaultPlan.load(args.faults) if args.faults else None
+    try:
+        result = run_library(
+            cells,
+            run_dir=args.run_dir,
+            policy=args.policy,
+            processes=args.processes,
+            resume=args.resume,
+            retries=args.retries,
+            cell_timeout=args.cell_timeout,
+            retry_backoff=args.retry_backoff,
+            fault_plan=fault_plan,
+            parallelism=args.parallelism,
+            batched=not args.scalar,
+            output=args.output,
+        )
+    except RunDirError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    resumed = set(result.resumed)
+    for cell in cells:
+        if cell.name in result.models:
+            tag = " (resumed)" if cell.name in resumed else ""
+            print(f"{cell.name}: {result.models[cell.name].summary()}{tag}")
+        else:
+            errors = result.quarantined.get(cell.name, [])
+            kind = errors[-1].get("kind", "?") if errors else "?"
+            print(f"{cell.name}: QUARANTINED ({kind}, {len(errors)} attempts)")
+    counts = result.report["counts"]
+    print(
+        f"done {counts['done']}/{len(cells)} "
+        f"(resumed {len(result.resumed)}, quarantined {counts['quarantined']})"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    if result.quarantined:
+        print(f"failure report: {result.run_dir / 'failures.json'}")
+        return 3
     return 0
 
 
@@ -281,6 +329,69 @@ def build_parser() -> argparse.ArgumentParser:
         "batch kernel; results are byte-identical either way)",
     )
     p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser(
+        "batch",
+        help="resumable, fault-tolerant library characterization",
+        parents=[obs_parent],
+    )
+    p.add_argument("netlist")
+    p.add_argument(
+        "--run-dir",
+        required=True,
+        help="directory for the run ledger and per-cell model checkpoints",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previous run of this directory (reuses completed "
+        "cells; exits 3 if quarantined cells remain)",
+    )
+    p.add_argument("-o", "--output", help="write the assembled library JSON")
+    p.add_argument("--policy", default="auto")
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="concurrent cell workers (each cell runs in its own process)",
+    )
+    p.add_argument(
+        "-j",
+        "--parallelism",
+        type=int,
+        default=None,
+        help="worker processes for the per-defect loop inside each cell",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="failed attempts allowed per cell before quarantine (default 1)",
+    )
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds per cell attempt before the worker is killed",
+    )
+    p.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        help="base retry delay in seconds, doubling per attempt (default 0.1)",
+    )
+    p.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help="inject a deterministic FaultPlan (chaos testing; see "
+        "docs/resilience.md)",
+    )
+    p.add_argument(
+        "--scalar",
+        action="store_true",
+        help="force the scalar reference solver",
+    )
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
         "rename", help="canonical transistor renaming", parents=[obs_parent]

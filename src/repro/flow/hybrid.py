@@ -160,6 +160,7 @@ class HybridFlow:
         cell: CellNetlist,
         reference: Optional[CAModel] = None,
         policy: str = "auto",
+        quarantined: bool = False,
     ) -> CellDecision:
         """Characterize one cell through the hybrid flow.
 
@@ -169,25 +170,41 @@ class HybridFlow:
         ledger seconds and span durations agree by construction.  The
         routing verdict is emitted as a structured ``hybrid.route`` event
         with the reason.
+
+        ``quarantined=True`` marks a cell a resilient characterization
+        run quarantined (see :mod:`repro.resilience`): it is routed
+        straight to the simulation lane — its previous failures mean no
+        trustworthy model or training row exists for it — and, like any
+        simulated cell, feeds the training set on success.
         """
         tracer = obs.tracer()
         started = time.perf_counter()
         with tracer.span("flow.cell", cell=cell.name) as cell_span:
             with tracer.span("flow.structure", cell=cell.name) as structure_span:
                 renamed = rename_transistors(cell, params=self.params)
-                match = self.index.match(renamed)
-                reason = f"structural match: {match}"
-                if match == NONE and self.router == "relaxed":
-                    # Section V.C extension: admit structurally *similar* cells.
-                    if self.similarity.admits(renamed, self.similarity_threshold):
-                        match = RELAXED
-                        reason = (
-                            "similarity >= "
-                            f"{self.similarity_threshold} (relaxed router)"
-                        )
+                if quarantined:
+                    match = NONE
+                    reason = (
+                        "quarantined by characterization run; "
+                        "routed to simulation lane"
+                    )
+                else:
+                    match = self.index.match(renamed)
+                    reason = f"structural match: {match}"
+                    if match == NONE and self.router == "relaxed":
+                        # Section V.C extension: admit structurally
+                        # *similar* cells.
+                        if self.similarity.admits(
+                            renamed, self.similarity_threshold
+                        ):
+                            match = RELAXED
+                            reason = (
+                                "similarity >= "
+                                f"{self.similarity_threshold} (relaxed router)"
+                            )
                 structure_span.set("match", match)
             route = "ml" if match != NONE else "simulate"
-            if route == "simulate":
+            if route == "simulate" and not quarantined:
                 reason = "no structural or similar match in training set"
             obs.events().info(
                 "hybrid.route",
@@ -195,6 +212,7 @@ class HybridFlow:
                 route=route,
                 match=match,
                 reason=reason,
+                quarantined=quarantined,
             )
             cell_span.set("route", route)
             cell_span.set("match", match)
@@ -279,10 +297,23 @@ class HybridFlow:
         cells: Iterable[CellNetlist],
         references: Optional[Dict[str, CAModel]] = None,
         policy: str = "auto",
+        quarantined: Optional[Iterable[str]] = None,
     ) -> HybridReport:
-        """Characterize a set of cells; returns the aggregate report."""
+        """Characterize a set of cells; returns the aggregate report.
+
+        ``quarantined`` names cells a resilient characterization run
+        quarantined (e.g. from
+        :func:`repro.resilience.quarantined_cells`); they bypass the ML
+        path and go straight to the simulation lane.
+        """
         self.report = HybridReport()
+        quarantine = set(quarantined or ())
         for cell in cells:
             reference = references.get(cell.name) if references else None
-            self.generate(cell, reference=reference, policy=policy)
+            self.generate(
+                cell,
+                reference=reference,
+                policy=policy,
+                quarantined=cell.name in quarantine,
+            )
         return self.report

@@ -12,6 +12,13 @@ Dependency-free instrumentation substrate for the whole repo:
 * :mod:`repro.obs.events` — structured events with pluggable sinks
   (stderr text, JSONL file, silent).
 
+Metric/event namespaces: ``camodel.*`` (generation cost accounting),
+``cache.*`` / ``hybrid.*`` (flow layers), and ``resilience.*`` —
+retries, timeouts, quarantines and resume reuse emitted by the
+checkpointed run layer (:mod:`repro.resilience.runner`), whose workers
+merge their counters through :meth:`Metrics.merge_counters` exactly
+once per completed cell.
+
 State model: one process-wide :class:`ObsState` (tracer + metrics +
 event log), read through :func:`tracer` / :func:`metrics` /
 :func:`events`.  Tracing is **off by default** (the null tracer adds no

@@ -66,6 +66,17 @@ class Metrics:
             "histograms": {k: dict(v) for k, v in self.histograms.items()},
         }
 
+    def merge_counters(self, counters: Mapping[str, float]) -> None:
+        """Fold a plain counter mapping in (adds to existing values).
+
+        The resilience run layer stores each worker's counters in its
+        run ledger and merges them here exactly once, at the cell's
+        ``done`` transition — a resumed run reads completed cells from
+        the ledger instead, so nothing is ever double-counted.
+        """
+        for name, value in counters.items():
+            self.inc(name, float(value))
+
     def merge(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
         """Fold a child snapshot in: counters add, histograms combine,
         gauges last-write-wins."""

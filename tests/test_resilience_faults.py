@@ -1,0 +1,424 @@
+"""Chaos suite for the resilient run layer.
+
+Every :class:`~repro.resilience.faults.FaultPlan` mode is injected into a
+real :func:`~repro.resilience.runner.run_library` run; the suite asserts
+the run survives, quarantines exactly the faulted cells with structured
+error records, and a subsequent ``resume`` converges to a library
+byte-identical to an uninterrupted run.
+
+The quarantine scenario's failure report is copied to
+``CHAOS_failure_report.json`` at the repo root (the same machine-readable
+artifact idiom as ``BENCH_generation.json``) so CI can upload it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.camodel import LibraryGenerationError, generate_library
+from repro.flow import HybridFlow
+from repro.library import SOI28, build_cell
+from repro.resilience import FaultPlan, FaultRule, InjectedFault, faults
+from repro.resilience.ledger import (
+    DONE,
+    QUARANTINED,
+    RunLedger,
+    quarantined_cells,
+)
+from repro.resilience.runner import run_library
+
+ROOT = Path(__file__).resolve().parents[1]
+
+CELLS = ("NAND2", "NOR2", "AND2")
+VICTIM = "S28_NOR2X1"
+
+
+@pytest.fixture(scope="module")
+def library_cells():
+    return [build_cell(SOI28, function, 1) for function in CELLS]
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory, library_cells):
+    """Uninterrupted reference run; its library bytes anchor every test."""
+    run_dir = tmp_path_factory.mktemp("baseline")
+    output = run_dir / "library.json"
+    result = run_library(
+        library_cells,
+        run_dir=run_dir,
+        processes=2,
+        retry_backoff=0.0,
+        output=output,
+    )
+    assert result.complete and len(result.models) == len(CELLS)
+    return output.read_bytes()
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    faults.deactivate()
+
+
+def _run(run_dir, cells, **kwargs):
+    kwargs.setdefault("retry_backoff", 0.0)
+    kwargs.setdefault("processes", 2)
+    return run_library(
+        cells, run_dir=run_dir, output=Path(run_dir) / "library.json", **kwargs
+    )
+
+
+class TestCrash:
+    def test_crash_is_retried_and_run_survives(
+        self, tmp_path, library_cells, baseline
+    ):
+        plan = FaultPlan([FaultRule(cell=VICTIM, mode="crash", attempts=(0,))])
+        result = _run(
+            tmp_path / "run", cells=library_cells, retries=1, fault_plan=plan
+        )
+        assert result.complete
+        assert (tmp_path / "run" / "library.json").read_bytes() == baseline
+        record = RunLedger.load(tmp_path / "run").cells[VICTIM]
+        assert record["attempts"] == 2
+        assert record["errors"][0]["kind"] == "crash"
+        assert "injected crash" in record["errors"][0]["error"]
+
+    def test_exhausted_retries_quarantine_only_the_faulted_cell(
+        self, tmp_path, library_cells, baseline
+    ):
+        plan = FaultPlan([FaultRule(cell=VICTIM, mode="crash")])
+        result = _run(
+            tmp_path / "run", cells=library_cells, retries=1, fault_plan=plan
+        )
+        assert set(result.quarantined) == {VICTIM}
+        assert set(result.models) == {
+            c.name for c in library_cells if c.name != VICTIM
+        }
+        report = json.loads((tmp_path / "run" / "failures.json").read_text())
+        assert [q["cell"] for q in report["quarantined"]] == [VICTIM]
+        assert report["counts"][QUARANTINED] == 1
+        assert all(e["kind"] == "crash" for e in report["quarantined"][0]["errors"])
+        # publish the machine-readable report for the CI artifact upload
+        (ROOT / "CHAOS_failure_report.json").write_text(
+            json.dumps(report, indent=2) + "\n"
+        )
+
+        resumed = _run(
+            tmp_path / "run", cells=library_cells, resume=True, retries=1
+        )
+        assert resumed.complete
+        assert sorted(resumed.resumed) == sorted(
+            c.name for c in library_cells if c.name != VICTIM
+        )
+        assert (tmp_path / "run" / "library.json").read_bytes() == baseline
+
+
+class TestHangTimeout:
+    def test_hang_times_out_quarantines_and_resumes_identically(
+        self, tmp_path, library_cells, baseline
+    ):
+        plan = FaultPlan([FaultRule(cell=VICTIM, mode="hang")])
+        result = _run(
+            tmp_path / "run",
+            cells=library_cells,
+            retries=0,
+            cell_timeout=1.0,
+            fault_plan=plan,
+        )
+        assert set(result.quarantined) == {VICTIM}
+        assert result.quarantined[VICTIM][-1]["kind"] == "timeout"
+        assert "cell-timeout" in result.quarantined[VICTIM][-1]["error"]
+
+        resumed = _run(
+            tmp_path / "run", cells=library_cells, resume=True, cell_timeout=5.0
+        )
+        assert resumed.complete
+        assert (tmp_path / "run" / "library.json").read_bytes() == baseline
+
+    def test_hang_retry_recovers_within_one_run(
+        self, tmp_path, library_cells, baseline
+    ):
+        plan = FaultPlan([FaultRule(cell=VICTIM, mode="hang", attempts=(0,))])
+        result = _run(
+            tmp_path / "run",
+            cells=library_cells,
+            retries=1,
+            cell_timeout=1.0,
+            fault_plan=plan,
+        )
+        assert result.complete
+        assert (tmp_path / "run" / "library.json").read_bytes() == baseline
+
+
+class TestMidWriteKill:
+    def test_kill_during_artifact_write_leaves_no_torn_checkpoint(
+        self, tmp_path, library_cells, baseline
+    ):
+        plan = FaultPlan(
+            [FaultRule(cell=VICTIM, mode="midwrite-kill", attempts=(0,))]
+        )
+        result = _run(
+            tmp_path / "run", cells=library_cells, retries=1, fault_plan=plan
+        )
+        assert result.complete
+        assert (tmp_path / "run" / "library.json").read_bytes() == baseline
+        record = RunLedger.load(tmp_path / "run").cells[VICTIM]
+        assert record["errors"][0]["kind"] == "crash"
+        # the interrupted write's temp file must not survive the run
+        models_dir = tmp_path / "run" / "models"
+        assert not list(models_dir.glob(".*.tmp*"))
+
+    def test_quarantined_midwrite_then_resume_byte_identical(
+        self, tmp_path, library_cells, baseline
+    ):
+        plan = FaultPlan([FaultRule(cell=VICTIM, mode="midwrite-kill")])
+        result = _run(
+            tmp_path / "run", cells=library_cells, retries=0, fault_plan=plan
+        )
+        assert set(result.quarantined) == {VICTIM}
+        resumed = _run(tmp_path / "run", cells=library_cells, resume=True)
+        assert resumed.complete
+        assert (tmp_path / "run" / "library.json").read_bytes() == baseline
+
+
+class TestCorruptCheckpoint:
+    def test_corrupt_artifact_is_detected_and_regenerated(
+        self, tmp_path, library_cells, baseline
+    ):
+        plan = FaultPlan(
+            [FaultRule(cell=VICTIM, mode="corrupt-artifact", attempts=(0,))]
+        )
+        result = _run(
+            tmp_path / "run", cells=library_cells, retries=1, fault_plan=plan
+        )
+        assert result.complete
+        assert (tmp_path / "run" / "library.json").read_bytes() == baseline
+        record = RunLedger.load(tmp_path / "run").cells[VICTIM]
+        assert record["errors"][0]["kind"] == "corrupt-artifact"
+
+    def test_corrupt_checkpoint_on_disk_is_not_trusted_on_resume(
+        self, tmp_path, library_cells, baseline
+    ):
+        """Corrupting a done cell's checkpoint between sessions forces a
+        clean regeneration instead of a poisoned library."""
+        run_dir = tmp_path / "run"
+        _run(run_dir, cells=library_cells)
+        ledger = RunLedger.load(run_dir)
+        artifact = ledger.artifact_path(VICTIM)
+        artifact.write_text('{"format": 1, "cell": "' + VICTIM)
+        # mark the cell non-done so recover() revalidates the artifact
+        # (simulates a session killed right around the done transition)
+        ledger.cells[VICTIM]["state"] = "running"
+        ledger.save()
+        resumed = _run(run_dir, cells=library_cells, resume=True)
+        assert resumed.complete
+        assert (run_dir / "library.json").read_bytes() == baseline
+
+
+class TestRaiseInSolver:
+    def test_exception_carries_traceback_and_retry_recovers(
+        self, tmp_path, library_cells, baseline
+    ):
+        plan = FaultPlan([FaultRule(cell=VICTIM, mode="raise", attempts=(0,))])
+        result = _run(
+            tmp_path / "run", cells=library_cells, retries=1, fault_plan=plan
+        )
+        assert result.complete
+        assert (tmp_path / "run" / "library.json").read_bytes() == baseline
+        record = RunLedger.load(tmp_path / "run").cells[VICTIM]
+        error = record["errors"][0]
+        assert error["kind"] == "exception"
+        assert "InjectedFault" in error["error"]
+        assert "generate_ca_model" in error["traceback"]
+
+
+class TestOptionsSafety:
+    def test_resume_with_different_options_is_refused(
+        self, tmp_path, library_cells
+    ):
+        from repro.resilience import RunDirError
+
+        _run(tmp_path / "run", cells=library_cells)
+        with pytest.raises(RunDirError, match="different"):
+            run_library(
+                library_cells,
+                run_dir=tmp_path / "run",
+                resume=True,
+                policy="static",
+            )
+
+    def test_fresh_dir_reuse_without_resume_is_refused(
+        self, tmp_path, library_cells
+    ):
+        from repro.resilience import RunDirError
+
+        _run(tmp_path / "run", cells=library_cells)
+        with pytest.raises(RunDirError, match="resume"):
+            run_library(library_cells, run_dir=tmp_path / "run")
+
+
+class TestObsIntegration:
+    def test_retry_and_quarantine_metrics_and_events(
+        self, tmp_path, library_cells
+    ):
+        from repro import obs
+
+        sink = obs.ListSink()
+        with obs.scoped(metrics=obs.Metrics(), events=obs.EventLog(sink)):
+            plan = FaultPlan([FaultRule(cell=VICTIM, mode="raise")])
+            _run(
+                tmp_path / "run",
+                cells=library_cells,
+                retries=1,
+                fault_plan=plan,
+            )
+            counters = obs.metrics().counters
+        assert counters["resilience.retries"] == 1
+        assert counters["resilience.quarantined"] == 1
+        assert counters["resilience.exceptions"] == 2
+        assert counters["resilience.cells_done"] == len(CELLS) - 1
+        names = [event.name for event in sink.events]
+        assert "resilience.retry" in names
+        assert "resilience.quarantine" in names
+
+    def test_worker_metrics_merge_exactly_once(self, tmp_path, library_cells):
+        from repro import obs
+        from repro.camodel.stats import M_SOLVES
+
+        with obs.scoped(metrics=obs.Metrics()):
+            result = _run(tmp_path / "run", cells=library_cells)
+            merged = obs.metrics().counters.get(M_SOLVES, 0)
+        # the registry's solves equal the per-cell ledger totals (merged
+        # at the done transition, once per cell)
+        assert merged == result.metrics[M_SOLVES]
+        assert merged == sum(
+            model.stats.solves for model in result.models.values()
+        )
+
+        # a resumed session reuses every cell and merges nothing again
+        with obs.scoped(metrics=obs.Metrics()):
+            resumed = _run(tmp_path / "run", cells=library_cells, resume=True)
+            assert obs.metrics().counters.get(M_SOLVES, 0) == 0
+        assert resumed.metrics[M_SOLVES] == result.metrics[M_SOLVES]
+
+
+class TestHybridQuarantineRouting:
+    def test_quarantined_cells_take_the_simulation_lane(
+        self, tmp_path, library_cells
+    ):
+        from repro.camatrix import training_matrix
+        from repro.learning.datasets import CellSample
+
+        plan = FaultPlan([FaultRule(cell=VICTIM, mode="raise")])
+        result = _run(
+            tmp_path / "run", cells=library_cells, retries=0, fault_plan=plan
+        )
+        quarantine = quarantined_cells(tmp_path / "run")
+        assert quarantine == [VICTIM]
+
+        # train on the partial library: the NOR2 flavors would normally
+        # route 'ml' via an identical structural match
+        samples = [
+            CellSample(
+                cell=cell,
+                model=result.models[cell.name],
+                matrix=training_matrix(cell, result.models[cell.name]),
+            )
+            for cell in library_cells
+            if cell.name in result.models
+        ]
+        victim_cell = next(c for c in library_cells if c.name == VICTIM)
+        flow = HybridFlow(samples, params=SOI28.electrical)
+        ml_decision = flow.generate(victim_cell)
+        assert ml_decision.route == "simulate"  # nothing similar trained
+
+        # seed the index with an identical cell: ML would now match...
+        flow2 = HybridFlow(
+            samples
+            + [
+                CellSample(
+                    cell=victim_cell,
+                    model=ml_decision.model,
+                    matrix=training_matrix(victim_cell, ml_decision.model),
+                )
+            ],
+            params=SOI28.electrical,
+        )
+        assert flow2.generate(victim_cell).route == "ml"
+        # ...but the quarantine verdict forces the simulation lane
+        report = flow2.run(
+            [victim_cell], policy="auto", quarantined=quarantine
+        )
+        decision = report.decisions[-1]
+        assert decision.route == "simulate"
+        assert decision.model is not None
+
+
+class TestGenerateLibraryFailureCollection:
+    """The pre-ledger satellite fix: completed siblings survive a failure."""
+
+    def test_pool_path_attaches_completed_models(self, library_cells):
+        plan = FaultPlan([FaultRule(cell=VICTIM, mode="raise")])
+        payload = plan.to_dict()
+
+        # arm the plan inside each pool worker via an initializer-free
+        # trick: activate in the parent; fork propagates it
+        faults.activate(FaultPlan.from_dict(payload), cell="", attempt=0)
+        try:
+            with pytest.raises(LibraryGenerationError) as excinfo:
+                generate_library(
+                    library_cells, params=SOI28.electrical, processes=2
+                )
+        finally:
+            faults.deactivate()
+        error = excinfo.value
+        assert sorted(error.completed) == sorted(
+            c.name for c in library_cells if c.name != VICTIM
+        )
+        assert [f["cell"] for f in error.failures] == [VICTIM]
+        assert "InjectedFault" in error.failures[0]["traceback"]
+
+    def test_inline_path_attaches_completed_models(self, library_cells):
+        faults.activate(
+            FaultPlan([FaultRule(cell=VICTIM, mode="raise")]),
+            cell="",
+            attempt=0,
+        )
+        try:
+            with pytest.raises(LibraryGenerationError) as excinfo:
+                generate_library(library_cells, params=SOI28.electrical)
+        finally:
+            faults.deactivate()
+        error = excinfo.value
+        assert sorted(error.completed) == sorted(
+            c.name for c in library_cells if c.name != VICTIM
+        )
+        assert str(VICTIM) in str(error)
+
+    def test_direct_raise_in_solver(self, nand2):
+        from repro.camodel import generate_ca_model
+
+        faults.activate(
+            FaultPlan([FaultRule(cell=nand2.name, mode="raise")]),
+            cell=nand2.name,
+            attempt=0,
+        )
+        try:
+            with pytest.raises(InjectedFault):
+                generate_ca_model(nand2, params=SOI28.electrical)
+        finally:
+            faults.deactivate()
+
+
+class TestLedgerStates:
+    def test_done_states_and_canonical_artifacts(self, tmp_path, library_cells):
+        result = _run(tmp_path / "run", cells=library_cells)
+        ledger = RunLedger.load(tmp_path / "run")
+        assert set(ledger.names_in(DONE)) == set(result.models)
+        for name in result.models:
+            data = json.loads(ledger.artifact_path(name).read_text())
+            assert data["generation_seconds"] == 0.0
+            assert data["stats"]["total_seconds"] == 0.0
+            # the real wall time lives in the ledger instead
+            assert ledger.cells[name]["seconds"] > 0.0

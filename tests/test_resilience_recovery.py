@@ -1,0 +1,189 @@
+"""Crash-recovery integration: SIGKILL a real ``batch`` CLI subprocess
+mid-run, resume, and diff the result against a clean baseline.
+
+This is the one suite that exercises a *real* unscripted kill — the
+parent orchestrator dies at an arbitrary instant (as soon as at least
+one checkpoint artifact exists) and the resumed session must converge
+to the exact bytes an uninterrupted run produces.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.library import SOI28, build_cell
+from repro.resilience.ledger import RunLedger
+from repro.resilience.runner import run_library
+from repro.spice import parse_library, write_library
+
+ROOT = Path(__file__).resolve().parents[1]
+
+FUNCTIONS = ("NAND2", "NOR2", "AND2", "OR2", "AOI21")
+
+
+@pytest.fixture(scope="module")
+def netlist_file(tmp_path_factory):
+    built = [build_cell(SOI28, function, 1) for function in FUNCTIONS]
+    path = tmp_path_factory.mktemp("netlist") / "library.sp"
+    path.write_text(write_library(built, SOI28.dialect))
+    return path
+
+
+@pytest.fixture(scope="module")
+def cells(netlist_file):
+    # Parse from the netlist so the in-process baseline and the CLI
+    # subprocess characterize byte-identical cell representations.
+    return parse_library(netlist_file.read_text())
+
+
+@pytest.fixture(scope="module")
+def baseline_bytes(tmp_path_factory, cells):
+    run_dir = tmp_path_factory.mktemp("clean")
+    output = run_dir / "library.json"
+    result = run_library(
+        cells, run_dir=run_dir, processes=2, retry_backoff=0.0, output=output
+    )
+    assert result.complete
+    return output.read_bytes()
+
+
+def _spawn_batch(netlist_file, run_dir, output):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "batch",
+            str(netlist_file),
+            "--run-dir",
+            str(run_dir),
+            "-o",
+            str(output),
+            "--processes",
+            "1",
+            "--retry-backoff",
+            "0",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestSigkillRecovery:
+    def test_killed_batch_resumes_byte_identical(
+        self, tmp_path, cells, netlist_file, baseline_bytes
+    ):
+        run_dir = tmp_path / "run"
+        output = tmp_path / "library.json"
+        process = _spawn_batch(netlist_file, run_dir, output)
+        try:
+            # Kill as soon as the first checkpoint lands — an arbitrary
+            # mid-run instant from the orchestrator's point of view.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    pytest.fail(
+                        "batch subprocess finished before it could be killed;"
+                        " enlarge the cell set"
+                    )
+                if list((run_dir / "models").glob("*.json")):
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("no checkpoint artifact appeared within 120s")
+            os.kill(process.pid, signal.SIGKILL)
+        finally:
+            process.wait()
+        assert process.returncode == -signal.SIGKILL
+        assert not output.exists()  # the killed run never assembled a library
+
+        # Resume through the CLI and diff against the clean baseline.
+        rc = main(
+            [
+                "batch",
+                str(netlist_file),
+                "--run-dir",
+                str(run_dir),
+                "--resume",
+                "-o",
+                str(output),
+                "--retry-backoff",
+                "0",
+            ]
+        )
+        assert rc == 0
+        assert output.read_bytes() == baseline_bytes
+
+        # Per-model JSON diff against the clean run, cell by cell.
+        clean = {
+            model["cell"]: model
+            for model in json.loads(baseline_bytes)["models"]
+        }
+        resumed = {
+            model["cell"]: model
+            for model in json.loads(output.read_text())["models"]
+        }
+        assert resumed == clean
+
+    def test_resumed_session_reuses_prior_checkpoints(
+        self, tmp_path, cells, netlist_file, baseline_bytes
+    ):
+        run_dir = tmp_path / "run"
+        output = tmp_path / "library.json"
+        process = _spawn_batch(netlist_file, run_dir, output)
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    pytest.fail("batch subprocess finished too quickly")
+                done = [
+                    record
+                    for record in _ledger_cells(run_dir).values()
+                    if record.get("state") == "done"
+                ]
+                if done:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("no cell reached done within 120s")
+            os.kill(process.pid, signal.SIGKILL)
+        finally:
+            process.wait()
+
+        result = run_library(
+            cells,
+            run_dir=run_dir,
+            processes=2,
+            resume=True,
+            retry_backoff=0.0,
+            output=output,
+        )
+        assert result.complete
+        assert result.resumed, "resume should reuse completed checkpoints"
+        assert output.read_bytes() == baseline_bytes
+        ledger = RunLedger.load(run_dir)
+        for name in result.resumed:
+            # reused cells were not regenerated by the resumed session
+            assert ledger.cells[name]["state"] == "done"
+
+
+def _ledger_cells(run_dir):
+    path = Path(run_dir) / "ledger.json"
+    if not path.exists():
+        return {}
+    try:
+        return json.loads(path.read_text()).get("cells", {})
+    except (ValueError, json.JSONDecodeError):
+        return {}
