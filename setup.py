@@ -25,5 +25,7 @@ setup(
         "cov": ["pytest-cov"],
         # lint gate run by CI (.github/workflows/ci.yml); config in .ruff.toml
         "lint": ["ruff"],
+        # strict-typing gate run by CI (typecheck job); config in mypy.ini
+        "typecheck": ["mypy"],
     },
 )

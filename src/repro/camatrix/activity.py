@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.library.technology import ElectricalParams
 from repro.logic.fourval import V4
-from repro.camodel.stimuli import Word, static_words
+from repro.camodel.stimuli import Word
 from repro.simulation.engine import CellSimulator
 from repro.spice.netlist import CellNetlist, Transistor
 

@@ -21,7 +21,7 @@ operands (e.g. parallel transistors) broken by ascending activity value
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.spice.netlist import CellNetlist, Transistor
@@ -86,7 +86,7 @@ class EqLeaf(EqNode):
 class _EqGroup(EqNode):
     symbol = "?"
 
-    def __init__(self, *children: EqNode):
+    def __init__(self, *children: EqNode) -> None:
         flattened: List[EqNode] = []
         for child in children:
             if type(child) is type(self):
@@ -259,7 +259,7 @@ def path_expression(
 
     paths: List[List[Transistor]] = []
 
-    def walk(node: str, seen_nets: Set[str], seen_devs: Set[str], trail: List[Transistor]):
+    def walk(node: str, seen_nets: Set[str], seen_devs: Set[str], trail: List[Transistor]) -> None:
         if node == target:
             paths.append(list(trail))
             return

@@ -13,7 +13,7 @@ symmetric.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.camatrix.branches import Branch
 from repro.spice.netlist import CellNetlist
@@ -51,7 +51,9 @@ def canonical_pin_order(cell: CellNetlist, branches: List[Branch]) -> List[str]:
     return sorted(cell.inputs, key=lambda pin: signatures[pin])
 
 
-def reorder_word(word, declared: List[str], canonical: List[str]):
+def reorder_word(
+    word: Sequence[str], declared: List[str], canonical: List[str]
+) -> Tuple[str, ...]:
     """Permute a stimulus word from declared-pin order to canonical order."""
     index = {pin: i for i, pin in enumerate(declared)}
     return tuple(word[index[pin]] for pin in canonical)

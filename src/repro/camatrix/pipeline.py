@@ -7,7 +7,6 @@ cells with equal (#inputs, #transistors) into training sets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np

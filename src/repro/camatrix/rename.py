@@ -14,7 +14,7 @@ names regardless of the names and ordering in their source netlists:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.camatrix.activity import activity_values
 from repro.camatrix.branches import Branch, extract_branches, leaf_descriptors

@@ -20,7 +20,7 @@ from __future__ import annotations
 import multiprocessing
 import traceback
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.camodel.generate import DEFAULT_SLOW_FACTOR, generate_ca_model
@@ -47,7 +47,7 @@ class LibraryGenerationError(RuntimeError):
         self,
         failures: List[Dict[str, str]],
         completed: Dict[str, CAModel],
-    ):
+    ) -> None:
         self.failures = failures
         self.completed = completed
         names = ", ".join(sorted(f["cell"] for f in failures))
@@ -58,7 +58,7 @@ class LibraryGenerationError(RuntimeError):
         )
 
 
-def _characterize_worker(payload):
+def _characterize_worker(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
     """Worker: parse the cell text, generate, return a serialized model.
 
     Runs under a fresh obs scope: the span buffer and metric snapshot ride

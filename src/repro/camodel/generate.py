@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -123,7 +123,7 @@ class _GoldenRun:
         topology: Optional[CellTopology] = None,
         batched: bool = True,
         plans: Optional[Sequence[WordPlan]] = None,
-    ):
+    ) -> None:
         self.topology = topology or CellTopology(cell, params=params)
         self.plans = (
             plans
@@ -242,7 +242,7 @@ def _simulate_defect_rows(
     return detection, responses, counters
 
 
-def _defect_chunk_worker(payload):
+def _defect_chunk_worker(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
     """Pool worker: rebuild the cell, redo the golden pass, run one chunk.
 
     The golden pass is recomputed per worker (cheap relative to a chunk)

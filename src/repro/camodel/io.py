@@ -26,7 +26,7 @@ import numpy as np
 from repro.camodel.model import CAModel
 from repro.camodel.stats import GenerationStats
 from repro.defects.model import Defect
-from repro.logic.fourval import V4, parse_word, word_to_string
+from repro.logic.fourval import V4, parse_word
 
 FORMAT_VERSION = 1
 

@@ -10,7 +10,7 @@ outputs expose each defect, which diagnosis uses to narrow candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 

@@ -22,7 +22,7 @@ final pattern).
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.logic.fourval import V4, word_from_phases
 

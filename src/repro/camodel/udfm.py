@@ -26,10 +26,9 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.camodel.model import CAModel
-from repro.logic.fourval import V4, parse_word
 
 
 def _condition(model: CAModel, stimulus_index: int) -> Tuple[str, str]:
@@ -77,7 +76,7 @@ def to_udfm(
     return "\n".join(lines) + "\n"
 
 
-def save_udfm(model: CAModel, path: Union[str, Path], **kwargs) -> Path:
+def save_udfm(model: CAModel, path: Union[str, Path], **kwargs: Any) -> Path:
     """Write UDFM text to *path*."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -23,10 +23,9 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import obs
-from repro.camatrix import inference_matrix, rename_transistors, training_matrix
+from repro.camatrix import rename_transistors, training_matrix
 from repro.camodel import generate_ca_model, load_models, save_model, save_models
 from repro.flow import HybridFlow
-from repro.learning import build_samples
 from repro.library import build_cell, function_names, get_technology
 from repro.spice import parse_library, write_cell
 
@@ -237,6 +236,12 @@ def cmd_build(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import cli as lint_cli
+
+    return lint_cli.run(args)
+
+
 def cmd_table(args) -> int:
     from repro import experiments
 
@@ -434,6 +439,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("which")
     p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis (see docs/static-analysis.md)",
+        parents=[obs_parent],
+    )
+    from repro.lint import cli as lint_cli
+
+    lint_cli.add_arguments(p)
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

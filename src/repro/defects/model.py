@@ -18,10 +18,10 @@ columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, Tuple
 
 from repro.simulation.switchgraph import DefectEffect
-from repro.spice.netlist import TERMINALS, CellNetlist, Transistor
+from repro.spice.netlist import TERMINALS, CellNetlist
 
 OPEN = "open"
 SHORT = "short"

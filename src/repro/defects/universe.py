@@ -15,7 +15,7 @@ cells enumerate equivalent universes once transistors are renamed.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Sequence
+from typing import List
 
 from repro.defects.model import INTER_SHORT, OPEN, SHORT, Defect
 from repro.spice.netlist import TERMINALS, CellNetlist

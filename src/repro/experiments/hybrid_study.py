@@ -14,7 +14,7 @@ structural analysis only clears 50 %.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 import numpy as np
 

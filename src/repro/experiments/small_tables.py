@@ -6,7 +6,7 @@ equations of the example schematic).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List
 
 from repro.camatrix import (
     build_matrix,

@@ -14,7 +14,7 @@ than C28 — is the reproduction target.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.experiments.cache import DEFAULT_SCALE, library_with_models, paired
 from repro.experiments.reporting import format_accuracy_grid

@@ -17,7 +17,6 @@ puts the per-simulation cost at roughly two seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
 
 from repro.camodel.model import CAModel
 from repro.camodel.stimuli import expected_count

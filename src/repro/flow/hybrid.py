@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -113,7 +113,7 @@ class HybridFlow:
         max_group_rows: int = DEFAULT_MAX_GROUP_ROWS,
         router: str = "strict",
         similarity_threshold: float = 0.6,
-    ):
+    ) -> None:
         if router not in ("strict", "relaxed"):
             raise ValueError(f"unknown router {router!r}")
         self.params = params
@@ -135,7 +135,7 @@ class HybridFlow:
         self._classifiers: Dict[GroupKey, object] = {}
 
     # ------------------------------------------------------------------
-    def _classifier(self, key: GroupKey):
+    def _classifier(self, key: GroupKey) -> object:
         clf = self._classifiers.get(key)
         if clf is None:
             group = self._groups[key]

@@ -17,7 +17,7 @@ a high-quality CA model for a new cell:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.camatrix.branches import EqLeaf, EqNode, EqParallel, EqSeries
 from repro.camatrix.rename import RenamedCell

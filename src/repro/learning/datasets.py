@@ -11,14 +11,13 @@ short defects separately).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.camatrix.matrix import CAMatrix, FREE_ROW
 from repro.camatrix.pipeline import training_matrix
 from repro.camodel.model import CAModel
-from repro.library.builder import Library
 from repro.library.technology import ElectricalParams
 from repro.spice.netlist import CellNetlist
 

@@ -27,7 +27,7 @@ class RandomForestClassifier:
         bootstrap: bool = True,
         max_samples: Optional[float] = None,
         random_state: Optional[int] = None,
-    ):
+    ) -> None:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf

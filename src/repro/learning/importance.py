@@ -16,7 +16,7 @@ from repro.learning.metrics import accuracy_score
 
 
 def permutation_importance(
-    classifier,
+    classifier: object,
     X: np.ndarray,
     y: np.ndarray,
     columns: Optional[Sequence[str]] = None,

@@ -14,7 +14,9 @@ class KNeighborsClassifier:
     integer codes and is the default.
     """
 
-    def __init__(self, n_neighbors: int = 5, metric: str = "hamming", chunk_size: int = 256):
+    def __init__(
+        self, n_neighbors: int = 5, metric: str = "hamming", chunk_size: int = 256
+    ) -> None:
         if metric not in ("hamming", "euclidean"):
             raise ValueError(f"unsupported metric {metric!r}")
         self.n_neighbors = n_neighbors

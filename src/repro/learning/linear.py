@@ -6,7 +6,7 @@ All are NumPy implementations; binary and one-vs-rest multiclass.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -18,7 +18,7 @@ def _add_bias(X: np.ndarray) -> np.ndarray:
 class RidgeClassifier:
     """Least-squares classifier with L2 regularization (closed form)."""
 
-    def __init__(self, alpha: float = 1.0):
+    def __init__(self, alpha: float = 1.0) -> None:
         self.alpha = alpha
         self.coef_: Optional[np.ndarray] = None
         self.classes_: Optional[np.ndarray] = None
@@ -50,7 +50,7 @@ class LogisticRegression:
         learning_rate: float = 0.1,
         n_iterations: int = 300,
         l2: float = 1e-3,
-    ):
+    ) -> None:
         self.learning_rate = learning_rate
         self.n_iterations = n_iterations
         self.l2 = l2
@@ -105,7 +105,7 @@ class LinearSVC:
         n_iterations: int = 2000,
         batch_size: int = 64,
         random_state: Optional[int] = None,
-    ):
+    ) -> None:
         self.C = C
         self.n_iterations = n_iterations
         self.batch_size = batch_size

@@ -11,8 +11,8 @@ The API follows the scikit-learn conventions the paper's flow relies on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -41,7 +41,7 @@ class DecisionTreeClassifier:
         min_samples_leaf: int = 1,
         max_features: Optional[object] = None,
         random_state: Optional[int] = None,
-    ):
+    ) -> None:
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
@@ -88,7 +88,9 @@ class DecisionTreeClassifier:
             return max(1, int(self.max_features * self.n_features_))
         return min(self.n_features_, int(self.max_features))
 
-    def _grow(self, X, y, index, depth) -> int:
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, index: np.ndarray, depth: int
+    ) -> int:
         node_id = len(self._nodes)
         node = _Node()
         self._nodes.append(node)
@@ -118,7 +120,9 @@ class DecisionTreeClassifier:
         node.right = self._grow(X, y, right_index, depth + 1)
         return node_id
 
-    def _best_split(self, X, y, index) -> Optional[Tuple[int, float]]:
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, index: np.ndarray
+    ) -> Optional[Tuple[int, float]]:
         n = len(index)
         labels = y[index]
         if self._n_candidate_features() >= self.n_features_:

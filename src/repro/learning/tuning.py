@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 from repro.learning.datasets import CellSample
 from repro.learning.evaluate import leave_one_out
@@ -62,7 +61,7 @@ def grid_search(
         params = dict(base)
         params.update(dict(zip(names, values)))
 
-        def factory(params=params):
+        def factory(params: Dict = params) -> RandomForestClassifier:
             return RandomForestClassifier(random_state=seed, **params)
 
         report = leave_one_out(samples, kinds=kinds, classifier_factory=factory)

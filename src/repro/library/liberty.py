@@ -12,7 +12,7 @@ synthesized from, so the two views are consistent by construction.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import List, Union
 
 from repro.library.builder import Library
 from repro.library.catalog import get as get_function

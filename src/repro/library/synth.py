@@ -14,8 +14,8 @@ The SP expression type defined here is also reused by
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.spice.netlist import NMOS, PMOS, CellNetlist, Transistor, bulk_rail
 

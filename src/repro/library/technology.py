@@ -18,8 +18,8 @@ technologies that reproduce every property the methodology depends on:
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 from repro.spice.dialects import Dialect, register
 

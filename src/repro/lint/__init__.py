@@ -1,0 +1,62 @@
+"""repro.lint — project-invariant static analysis.
+
+An AST-based rule framework encoding the invariants this reproduction's
+correctness claims rest on, checked mechanically instead of by reviewer
+vigilance:
+
+* **determinism** — byte-identical resume and batched-vs-scalar
+  equality require no unseeded randomness (RPL003) and no wall-clock
+  values reaching canonical artifact bytes (RPL004);
+* **atomic-write discipline** — crash recovery trusts on-disk files to
+  be complete, so artifact paths write via temp-file + ``os.replace``
+  only (RPL005);
+* **multiprocessing safety** — pool entry points must pickle (RPL006)
+  and worker payloads must not carry open handles (RPL007);
+* **exception hygiene** — broad handlers must re-raise, classify, or
+  emit through :class:`repro.obs.EventLog` (RPL008);
+* **obs discipline** — no bare ``print`` outside the sanctioned sinks
+  (RPL001) and every metric/event name literal registered in
+  :mod:`repro.lint.catalog` (RPL002).
+
+Run it with ``python -m repro lint [paths] [--format text|json|sarif]
+[--select/--ignore RPL0xx] [--baseline FILE]``; suppress one finding
+inline with ``# reprolint: disable=RPL0xx``.  See
+``docs/static-analysis.md`` for the full rule catalog and workflow.
+"""
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.catalog import EVENT_NAMES, METRIC_NAMES, REGISTERED_NAMES
+from repro.lint.config import LintConfig
+from repro.lint.engine import (
+    ModuleUnit,
+    Rule,
+    all_rules,
+    check_unit,
+    get_rule,
+    run_lint,
+    select_rules,
+)
+from repro.lint.findings import Finding
+from repro.lint.reporters import render, render_json, render_sarif, render_text
+
+__all__ = [
+    "EVENT_NAMES",
+    "Finding",
+    "LintConfig",
+    "METRIC_NAMES",
+    "ModuleUnit",
+    "REGISTERED_NAMES",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "check_unit",
+    "get_rule",
+    "load_baseline",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_lint",
+    "select_rules",
+    "write_baseline",
+]

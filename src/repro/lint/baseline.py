@@ -1,0 +1,52 @@
+"""Baseline files: adopt the linter on a codebase with existing debt.
+
+A baseline is a JSON file of finding fingerprints.  ``--baseline FILE``
+filters those findings out of the report (they are *known* debt, not
+regressions); ``--write-baseline`` records the current findings so the
+gate can be ratcheted: new findings fail CI immediately, old ones are
+burned down file by file and disappear from the baseline as they are
+fixed (rewrite it with ``--write-baseline`` after a cleanup).
+
+Fingerprints hash the rule id, path, offending line *text* and an
+occurrence index — not the line number — so a baseline survives edits
+elsewhere in the file (see :mod:`repro.lint.findings`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple, Union
+
+from repro.lint.findings import Finding
+
+BASELINE_FORMAT = 1
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Sequence[Finding]
+) -> Path:
+    path = Path(path)
+    payload = {
+        "format": BASELINE_FORMAT,
+        "fingerprints": sorted({f.fingerprint for f in findings}),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != BASELINE_FORMAT:
+        raise ValueError(
+            f"unsupported baseline format {data.get('format')!r} in {path}"
+        )
+    return set(data.get("fingerprints", []))
+
+
+def apply_baseline(
+    findings: Sequence[Finding], fingerprints: Set[str]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed_count) against a baseline."""
+    fresh = [f for f in findings if f.fingerprint not in fingerprints]
+    return fresh, len(findings) - len(fresh)

@@ -1,0 +1,124 @@
+"""The ``python -m repro lint`` subcommand.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule/format,
+unreadable baseline).  Reports go straight to stdout (this module *is*
+a sanctioned console sink — it renders the report the way the text/
+JSON/SARIF reporter produced it, with no obs indirection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.config import LintConfig
+from repro.lint.engine import all_rules, get_rule, run_lint, select_rules
+from repro.lint.reporters import render
+
+USAGE_ERROR = 2
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RPL0xx",
+        help="run only these rule ids (repeatable, comma-separated ok)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RPL0xx",
+        help="skip these rule ids (repeatable, comma-separated ok)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE.json",
+        help="suppress findings whose fingerprint is in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE.json",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, name, summary) and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RPL0xx",
+        help="print one rule's full rationale and exit",
+    )
+
+
+def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    out: List[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out
+
+
+def run(args: argparse.Namespace) -> int:
+    out = sys.stdout
+    if args.list_rules:
+        for rule in all_rules():
+            out.write(f"{rule.id}  {rule.name:<22} {rule.summary}\n")
+        return 0
+    if args.explain:
+        rule = get_rule(args.explain)
+        if rule is None:
+            sys.stderr.write(f"error: unknown rule {args.explain!r}\n")
+            return USAGE_ERROR
+        out.write(f"{rule.id} ({rule.name}): {rule.summary}\n\n")
+        out.write(rule.rationale + "\n")
+        return 0
+    try:
+        rules = select_rules(_split_ids(args.select), _split_ids(args.ignore))
+    except ValueError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return USAGE_ERROR
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        sys.stderr.write(f"error: no such path: {', '.join(missing)}\n")
+        return USAGE_ERROR
+    findings = run_lint([Path(p) for p in args.paths], rules, LintConfig())
+    if args.write_baseline:
+        path = write_baseline(args.write_baseline, findings)
+        out.write(
+            f"wrote baseline with {len(findings)} fingerprint(s) to {path}\n"
+        )
+        return 0
+    baselined = 0
+    if args.baseline:
+        try:
+            fingerprints = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            sys.stderr.write(f"error: cannot read baseline: {exc}\n")
+            return USAGE_ERROR
+        findings, baselined = apply_baseline(findings, fingerprints)
+    report = render(findings, rules, args.fmt)
+    if report:
+        out.write(report + "\n")
+    if args.fmt == "text" and baselined:
+        out.write(f"({baselined} baselined finding(s) suppressed)\n")
+    return 1 if findings else 0

@@ -1,0 +1,112 @@
+"""Lint configuration: path scopes and allowlists for the rule pack.
+
+The defaults encode *this repository's* invariants — which modules
+construct canonical artifacts, which console sinks may print, which
+function is the one sanctioned atomic writer.  Patterns are matched
+with :func:`fnmatch.fnmatch` against the posix form of each file's
+path, so ``*/resilience/*`` scopes both ``src/repro/resilience/...``
+in a real run and ``tests/lint_corpus/resilience/...`` in the fixture
+corpus (the corpus mirrors the scoped directory names on purpose).
+
+Site allowlists use ``<path-pattern>::<qualname>`` — e.g.
+``*/resilience/ledger.py::RunLedger.open`` sanctions wall-clock reads
+inside that one method (the ledger's ``created`` stamp lives in
+``ledger.json``, never in a canonical artifact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Tuple
+
+
+def match_path(path: str, pattern: str) -> bool:
+    """fnmatch on posix paths, also accepting bare-suffix patterns."""
+    return fnmatch(path, pattern) or fnmatch(path, "*/" + pattern)
+
+
+def site_allowed(
+    path: str, qualname: str, allowlist: Tuple[str, ...]
+) -> bool:
+    """True when ``path::qualname`` matches an allowlist entry.
+
+    The qualname side matches exactly, or as a prefix (allowing
+    ``RunLedger.open`` to also cover nested helpers defined inside it).
+    """
+    for entry in allowlist:
+        pattern, _, allowed_qual = entry.partition("::")
+        if not match_path(path, pattern):
+            continue
+        if not allowed_qual or qualname == allowed_qual:
+            return True
+        if qualname.startswith(allowed_qual + "."):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Path scopes and allowlists consumed by the rule pack."""
+
+    #: paths never linted (match against the full posix path)
+    exclude: Tuple[str, ...] = ("*/__pycache__/*",)
+
+    # -- RPL001 no-print -------------------------------------------------
+    #: the sanctioned console sinks (mirrors ruff T201 per-file-ignores)
+    print_allowed: Tuple[str, ...] = (
+        "*/repro/cli.py",
+        "*/repro/experiments/runner.py",
+    )
+
+    # -- RPL002 obs-name-catalog ----------------------------------------
+    #: extra registered names (tests / corpus add theirs here)
+    extra_names: Tuple[str, ...] = ()
+
+    # -- RPL003 unseeded-random ------------------------------------------
+    #: nothing to configure: seeded generator objects are always the fix
+
+    # -- RPL004 wall-clock -----------------------------------------------
+    #: modules reachable from canonical-artifact construction
+    wallclock_paths: Tuple[str, ...] = (
+        "*/camodel/io.py",
+        "*/camodel/merge.py",
+        "*/camodel/model.py",
+        "*/resilience/ledger.py",
+        "*/experiments/cache.py",
+    )
+    #: sanctioned timing sites inside those modules
+    wallclock_allowed: Tuple[str, ...] = (
+        # the ledger's own `created` stamp: real wall-clock by design —
+        # it lives in ledger.json, which is not a canonical artifact
+        "*/resilience/ledger.py::RunLedger.open",
+    )
+
+    # -- RPL005 atomic-write ---------------------------------------------
+    #: run-dir / artifact code paths where every write must be atomic
+    atomic_paths: Tuple[str, ...] = (
+        "*/resilience/*",
+        "*/camodel/io.py",
+        "*/experiments/cache.py",
+    )
+    #: the sanctioned atomic writer implementations
+    atomic_writers: Tuple[str, ...] = (
+        "*/camodel/io.py::_write_json_atomic",
+    )
+
+    # -- RPL007 payload-open-handles -------------------------------------
+    #: dataclasses treated as cross-process worker payloads
+    payload_suffixes: Tuple[str, ...] = ("Payload", "WorkItem")
+
+    def with_extra_names(self, *names: str) -> "LintConfig":
+        """Copy of this config with *names* added to the RPL002 catalog."""
+        return LintConfig(
+            exclude=self.exclude,
+            print_allowed=self.print_allowed,
+            extra_names=self.extra_names + tuple(names),
+            wallclock_paths=self.wallclock_paths,
+            wallclock_allowed=self.wallclock_allowed,
+            atomic_paths=self.atomic_paths,
+            atomic_writers=self.atomic_writers,
+            payload_suffixes=self.payload_suffixes,
+        )

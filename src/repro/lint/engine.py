@@ -1,0 +1,302 @@
+"""Rule registry and per-file analysis driver.
+
+One :class:`ModuleUnit` is parsed per file and shared by every rule, so
+a lint run costs one ``ast.parse`` per module regardless of how many
+rules are selected.  Suppressions are handled here, uniformly for all
+rules: a ``# reprolint: disable=RPL001`` (comma-separated ids, or
+``all``) comment suppresses findings of those rules on its physical
+line, ``# reprolint: disable-next-line=...`` on the following line, and
+``# reprolint: disable-file=...`` anywhere in the file suppresses the
+whole file.  For multi-line statements, a suppression on the line where
+the violating *node* starts also applies.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.config import LintConfig, match_path
+from repro.lint.findings import Finding, number_occurrences
+
+#: ``# reprolint: disable=RPL001,RPL005`` (also disable-next-line / disable-file)
+_SUPPRESS = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-next-line|-file)?)\s*=\s*"
+    r"([A-Za-z0-9_,\s]+)"
+)
+
+PARSE_ERROR_ID = "RPL000"
+
+
+class ModuleUnit:
+    """One parsed source file plus the derived tables rules share."""
+
+    def __init__(self, path: Path, display_path: str, text: str):
+        self.path = path
+        #: path as reported in findings (posix, as given on the CLI)
+        self.display_path = display_path
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(text)
+        except SyntaxError as exc:
+            self.parse_error = exc
+        #: line -> set of rule ids (or {'all'}) suppressed on that line
+        self.suppressed: Dict[int, Set[str]] = {}
+        #: rule ids (or {'all'}) suppressed for the whole file
+        self.file_suppressed: Set[str] = set()
+        self._scan_suppressions()
+        #: import alias -> dotted module name ("np" -> "numpy")
+        self.import_aliases: Dict[str, str] = {}
+        #: imported-from names: local name -> "module.name"
+        self.from_imports: Dict[str, str] = {}
+        #: module-level NAME = "string constant" assignments
+        self.str_constants: Dict[str, str] = {}
+        #: names of functions defined *inside* another function (unpicklable
+        #: as pool entry points), plus names bound to lambdas at any level
+        self.nested_functions: Set[str] = set()
+        self.lambda_names: Set[str] = set()
+        if self.tree is not None:
+            self._scan_module()
+
+    # ------------------------------------------------------------------
+    def _scan_suppressions(self) -> None:
+        for number, line in enumerate(self.lines, 1):
+            match = _SUPPRESS.search(line)
+            if not match:
+                continue
+            kind = match.group(1)
+            ids = {
+                part.strip()
+                for part in match.group(2).split(",")
+                if part.strip()
+            }
+            if kind == "disable-file":
+                self.file_suppressed |= ids
+            elif kind == "disable-next-line":
+                self.suppressed.setdefault(number + 1, set()).update(ids)
+            else:
+                self.suppressed.setdefault(number, set()).update(ids)
+
+    def _scan_module(self) -> None:
+        assert self.tree is not None
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.import_aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.import_aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, ast.FunctionDef) or isinstance(
+                node, ast.AsyncFunctionDef
+            ):
+                for inner in ast.walk(node):
+                    if inner is node:
+                        continue
+                    if isinstance(
+                        inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self.nested_functions.add(inner.name)
+        for stmt in self.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                if isinstance(stmt.value, ast.Constant) and isinstance(
+                    stmt.value.value, str
+                ):
+                    self.str_constants[stmt.targets[0].id] = stmt.value.value
+                elif isinstance(stmt.value, ast.Lambda):
+                    self.lambda_names.add(stmt.targets[0].id)
+
+    # ------------------------------------------------------------------
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve ``np.random.rand`` -> ``numpy.random.rand`` (or None).
+
+        Import aliases are expanded at the root; ``from x import y``
+        names resolve through :attr:`from_imports`.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        root = self.from_imports.get(root, self.import_aliases.get(root, root))
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_str_arg(self, node: ast.AST) -> Optional[str]:
+        """A string literal, or a module-level string constant by name."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.str_constants.get(node.id)
+        return None
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "all" in self.file_suppressed or rule_id in self.file_suppressed:
+            return True
+        ids = self.suppressed.get(line)
+        return bool(ids) and ("all" in ids or rule_id in ids)
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement :meth:`check`."""
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+    #: longer rationale rendered by ``--explain`` and docs
+    rationale: str = ""
+
+    def check(self, unit: ModuleUnit, config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(
+        self,
+        unit: ModuleUnit,
+        node: ast.AST,
+        message: str,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule_id=self.id,
+            rule_name=self.name,
+            path=unit.display_path,
+            line=line,
+            col=col,
+            message=message,
+            line_text=unit.line_text(line).strip(),
+            extra=extra,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and add to the global registry."""
+    rule = rule_cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {rule_cls.__name__} lacks an id/name")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, ordered by id (imports the rule pack lazily)."""
+    from repro.lint import rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Optional[Rule]:
+    from repro.lint import rules  # noqa: F401
+
+    return _REGISTRY.get(rule_id)
+
+
+def select_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    chosen = all_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - {r.id for r in chosen}
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        chosen = [r for r in chosen if r.id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        unknown = dropped - {r.id for r in all_rules()}
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        chosen = [r for r in chosen if r.id not in dropped]
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Tuple[Path, str]]:
+    """Yield ``(path, display_path)`` for every .py file under *paths*."""
+    for root in paths:
+        root = Path(root)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root, root.as_posix()
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            yield path, path.as_posix()
+
+
+def check_unit(
+    unit: ModuleUnit, rules: Sequence[Rule], config: LintConfig
+) -> List[Finding]:
+    """Run *rules* over one parsed module, applying suppressions."""
+    findings: List[Finding] = []
+    if unit.parse_error is not None:
+        exc = unit.parse_error
+        findings.append(
+            Finding(
+                rule_id=PARSE_ERROR_ID,
+                rule_name="parse-error",
+                path=unit.display_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+                line_text=unit.line_text(exc.lineno or 1).strip(),
+            )
+        )
+        return findings
+    for rule in rules:
+        for finding in rule.check(unit, config):
+            if unit.is_suppressed(finding.rule_id, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return findings
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint every Python file under *paths*; returns ordered findings."""
+    config = config if config is not None else LintConfig()
+    chosen = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for path, display in iter_python_files(paths):
+        if any(match_path(display, pat) for pat in config.exclude):
+            continue
+        unit = ModuleUnit(path, display, path.read_text())
+        findings.extend(check_unit(unit, chosen, config))
+    return number_occurrences(findings)

@@ -1,0 +1,82 @@
+"""Finding record and stable fingerprints.
+
+A finding is one rule violation at one source location.  Its
+*fingerprint* is what the baseline mechanism stores: a hash over the
+rule id, the file's path relative to the lint root, the normalized text
+of the offending line, and the occurrence index of that (rule, line
+text) pair within the file.  Line *numbers* are deliberately excluded so
+a baseline survives unrelated edits above the finding; the occurrence
+index keeps two identical offending lines distinguishable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    rule_name: str
+    path: str  # posix path as given on the command line
+    line: int  # 1-based
+    col: int  # 1-based (SARIF convention)
+    message: str
+    #: normalized source text of the offending line ('' if unavailable)
+    line_text: str = ""
+    #: disambiguates identical (rule, line_text) pairs within one file
+    occurrence: int = 0
+    #: optional extra structured context for the JSON reporter
+    extra: Optional[Dict[str, object]] = field(default=None, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        blob = "\x1f".join(
+            (self.rule_id, self.path, self.line_text.strip(), str(self.occurrence))
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def number_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Assign occurrence indices so identical findings fingerprint apart."""
+    seen: Dict[object, int] = {}
+    out: List[Finding] = []
+    for f in findings:
+        key = (f.rule_id, f.path, f.line_text.strip())
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        if index != f.occurrence:
+            f = Finding(
+                rule_id=f.rule_id,
+                rule_name=f.rule_name,
+                path=f.path,
+                line=f.line,
+                col=f.col,
+                message=f.message,
+                line_text=f.line_text,
+                occurrence=index,
+                extra=f.extra,
+            )
+        out.append(f)
+    return out

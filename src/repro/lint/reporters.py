@@ -1,0 +1,109 @@
+"""Finding reporters: text (default), JSON, SARIF 2.1.0.
+
+SARIF is what CI uploads — GitHub's code-scanning ingestion turns it
+into inline PR annotations.  The JSON format is the stable
+machine-readable contract the corpus golden files are written against.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Rule
+from repro.lint.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [f.render() for f in findings]
+    lines.append(f"found {len(findings)} problem(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        {"format": 1, "findings": [f.to_dict() for f in findings]},
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> str:
+    rule_entries: List[Dict[str, object]] = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for f in findings:
+        result: Dict[str, object] = {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "partialFingerprints": {"reprolint/v1": f.fingerprint},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[f.rule_id]
+        results.append(result)
+    sarif = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/docs/static-analysis.md"
+                        ),
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True)
+
+
+def render(
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    fmt: str = "text",
+) -> str:
+    if fmt == "text":
+        return render_text(findings)
+    if fmt == "json":
+        return render_json(findings)
+    if fmt == "sarif":
+        return render_sarif(findings, rules)
+    raise ValueError(f"unknown format {fmt!r} (text, json, sarif)")

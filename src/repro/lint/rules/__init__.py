@@ -1,0 +1,26 @@
+"""The rule pack.  Importing this package registers every rule.
+
+Rule id map (stable — ids are never reused):
+
+=======  ====================  ==========================================
+id       name                  family
+=======  ====================  ==========================================
+RPL000   parse-error           (engine-internal: unparseable file)
+RPL001   no-print              obs discipline
+RPL002   obs-name-catalog      obs discipline
+RPL003   unseeded-random       determinism
+RPL004   wall-clock            determinism
+RPL005   atomic-write          atomic-write discipline
+RPL006   pool-picklability     multiprocessing safety
+RPL007   payload-open-handles  multiprocessing safety
+RPL008   exception-hygiene     exception hygiene
+=======  ====================  ==========================================
+"""
+
+from repro.lint.rules import (  # noqa: F401  (registration side effects)
+    atomicio,
+    determinism,
+    exceptions,
+    mp,
+    obs,
+)

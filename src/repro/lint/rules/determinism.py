@@ -1,0 +1,193 @@
+"""Determinism rules: RPL003 unseeded-random, RPL004 wall-clock.
+
+Both protect the byte-identity guarantees of PR 3/4: batched results
+must equal scalar results, and a killed-and-resumed run must assemble a
+library byte-identical to an uninterrupted one.  Neither survives an
+unseeded RNG, and the second does not survive wall-clock values leaking
+into canonical artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import LintConfig, match_path, site_allowed
+from repro.lint.engine import Finding, ModuleUnit, Rule, register
+from repro.lint.rules._helpers import walk_with_qualname
+
+#: module-global RNG entry points: banned outright (their state is
+#: process-wide and implicitly seeded from the OS)
+_GLOBAL_RNG = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.uniform",
+        "random.gauss",
+        "random.normalvariate",
+        "random.getrandbits",
+        "random.seed",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random",
+        "numpy.random.random_sample",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+        "numpy.random.seed",
+    }
+)
+
+#: generator constructors: fine *with* an explicit seed argument
+_GENERATORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+    }
+)
+
+_WALLCLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _has_seed(call: ast.Call) -> bool:
+    """An explicit seed: any positional arg, or seed=/random_state= kwarg
+    (an explicit ``None`` does not count — that is the unseeded path)."""
+    for arg in call.args:
+        if not (isinstance(arg, ast.Constant) and arg.value is None):
+            return True
+    for kw in call.keywords:
+        if kw.arg in ("seed", "random_state"):
+            if not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is None
+            ):
+                return True
+    return False
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Randomness must flow through an explicitly seeded generator."""
+
+    id = "RPL003"
+    name = "unseeded-random"
+    summary = "module-global or unseeded RNG use in library code"
+    rationale = (
+        "Reproducibility of sampled cell sets, forest bootstraps and "
+        "tuning splits requires every random draw to come from a "
+        "generator constructed with an explicit seed (random.Random(seed), "
+        "numpy.random.default_rng(seed)) that is threaded through the "
+        "call tree.  The module-global functions (random.random, "
+        "numpy.random.rand, ...) share hidden process-wide state and are "
+        "banned outright; so is seeding them (random.seed), which still "
+        "leaves every other caller entangled in shared state."
+    )
+
+    def check(self, unit: ModuleUnit, config: LintConfig) -> Iterator[Finding]:
+        assert unit.tree is not None
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = unit.dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in _GLOBAL_RNG:
+                yield self.finding(
+                    unit,
+                    node,
+                    f"module-global RNG {dotted}() is banned; construct an "
+                    "explicitly seeded generator instead "
+                    "(numpy.random.default_rng(seed) / random.Random(seed))",
+                )
+            elif dotted == "random.SystemRandom":
+                yield self.finding(
+                    unit,
+                    node,
+                    "random.SystemRandom is entropy-seeded by construction "
+                    "and can never reproduce; use random.Random(seed)",
+                )
+            elif dotted in _GENERATORS and not _has_seed(node):
+                yield self.finding(
+                    unit,
+                    node,
+                    f"{dotted}() without an explicit seed/random_state "
+                    "draws OS entropy; pass the run's seed through",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """No wall-clock reads in canonical-artifact construction paths."""
+
+    id = "RPL004"
+    name = "wall-clock"
+    summary = "wall-clock read in a canonical-artifact module"
+    rationale = (
+        "Canonical artifacts (CA model JSON, experiment cache entries, "
+        "resumable run checkpoints) are compared and resumed byte-for-"
+        "byte: a killed-and-resumed run must assemble a library byte-"
+        "identical to an uninterrupted one, so wall-clock values must "
+        "never reach artifact bytes.  time.time()/perf_counter()/"
+        "datetime.now() are banned in the scoped modules "
+        "(config: wallclock_paths) except at allowlisted timing sites "
+        "(config: wallclock_allowed) whose output provably stays out of "
+        "canonical bytes — e.g. the run ledger's own `created` stamp."
+    )
+
+    def check(self, unit: ModuleUnit, config: LintConfig) -> Iterator[Finding]:
+        if not any(
+            match_path(unit.display_path, p) for p in config.wallclock_paths
+        ):
+            return
+        assert unit.tree is not None
+        for node, qualname in walk_with_qualname(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self._wallclock_name(node, unit)
+            if dotted is None:
+                continue
+            if site_allowed(
+                unit.display_path, qualname, config.wallclock_allowed
+            ):
+                continue
+            yield self.finding(
+                unit,
+                node,
+                f"wall-clock read {dotted}() in a canonical-artifact module; "
+                "keep real timings in the ledger/obs layer and zero them in "
+                "artifact bytes (allowlist the site in wallclock_allowed if "
+                "its value provably never reaches an artifact)",
+            )
+
+    @staticmethod
+    def _wallclock_name(node: ast.Call, unit: ModuleUnit) -> Optional[str]:
+        dotted = unit.dotted_name(node.func)
+        if dotted is None:
+            return None
+        if dotted in _WALLCLOCK:
+            return dotted
+        # `from datetime import datetime; datetime.now()` resolves to
+        # datetime.datetime.now via from_imports; plain `datetime.now`
+        # with `import datetime` is already covered above.
+        return None

@@ -1,0 +1,97 @@
+"""Exception-hygiene rule: RPL008.
+
+The motivating instance: ``repro.resilience.ledger`` used to swallow
+every artifact-validation failure as ``except Exception: return False``
+— a corrupt model file and a transient decode bug looked identical, and
+neither left a trace anywhere.  Broad handlers are allowed, but they
+must do something observable with what they caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, ModuleUnit, Rule, register
+from repro.lint.rules._helpers import emitter_call
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler, unit: ModuleUnit) -> bool:
+    if handler.type is None:  # bare except:
+        return True
+    dotted = unit.dotted_name(handler.type)
+    if dotted is None:
+        return False
+    return dotted.rsplit(".", 1)[-1] in _BROAD
+
+
+def _handler_is_observable(handler: ast.ExceptHandler, unit: ModuleUnit) -> bool:
+    """True when the handler re-raises, classifies, or emits.
+
+    Classifying means the caught exception's identity flows somewhere:
+    a Return of a non-constant expression (an error object, a tuple of
+    context), or any use of the bound exception name in the handler
+    body (building a record, formatting a message).  Every silent
+    swallow — ``pass``, ``return False``, ``continue`` — does neither.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Return) and node.value is not None:
+            # a classified error object (a constructor call, a tuple of
+            # context, an existing record) counts; a bare constant
+            # (`return False` / `return None`) does not — that is the
+            # silent-swallow shape this rule exists for.
+            if not isinstance(node.value, ast.Constant):
+                return True
+        if emitter_call(node, unit) is not None:
+            return True
+    if handler.name:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Name) and node.id == handler.name:
+                return True
+    return False
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """Broad exception handlers must re-raise, classify, or emit."""
+
+    id = "RPL008"
+    name = "exception-hygiene"
+    summary = "broad except swallows the failure silently"
+    rationale = (
+        "`except Exception` is legitimate at classification boundaries "
+        "(worker trampolines, artifact validators) but every such "
+        "handler must make the failure observable: re-raise it, return "
+        "a classified error object (not a bare constant), emit a "
+        "structured event through repro.obs.EventLog, or at minimum "
+        "bind the exception (`as exc`) and use it — building an error "
+        "record counts, dropping it on the floor does not.  Handlers "
+        "for *specific* exception types are out of scope — `except "
+        "OSError: pass` around a best-effort unlink is fine; it is the "
+        "broad catch-alls that turn real bugs into silence."
+    )
+
+    def check(self, unit: ModuleUnit, config: LintConfig) -> Iterator[Finding]:
+        assert unit.tree is not None
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node, unit):
+                continue
+            if _handler_is_observable(node, unit):
+                continue
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "<bare>"
+            )
+            yield self.finding(
+                unit,
+                node,
+                f"except {caught} swallows the failure: re-raise, return a "
+                "classified error object, or emit through "
+                "repro.obs.EventLog (events().warning(...))",
+            )

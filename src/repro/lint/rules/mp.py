@@ -1,0 +1,193 @@
+"""Multiprocessing-safety rules: RPL006 pool-picklability, RPL007
+payload-open-handles.
+
+Pool entry points and worker payloads cross a process boundary by
+pickling.  Lambdas, nested functions and bound methods fail at runtime
+(or, worse, only under the spawn start method CI does not exercise);
+open handles pickle on Linux fork but point at the wrong fd afterwards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, ModuleUnit, Rule, register
+
+#: pool / executor methods whose first argument is shipped to a worker
+_SUBMIT_METHODS = frozenset(
+    {
+        "submit",
+        "map",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+        "map_async",
+        "apply",
+        "apply_async",
+    }
+)
+
+#: annotation substrings that mean "an open handle rode the payload"
+_HANDLE_MARKERS = (
+    "TextIO",
+    "BinaryIO",
+    "IO[",
+    "RawIOBase",
+    "BufferedReader",
+    "BufferedWriter",
+    "FileIO",
+    "socket",
+    "Connection",
+)
+
+
+def _pool_like(recv: ast.AST) -> bool:
+    """Heuristic: the receiver is a pool/executor object."""
+    name = ""
+    if isinstance(recv, ast.Name):
+        name = recv.id
+    elif isinstance(recv, ast.Attribute):
+        name = recv.attr
+    lowered = name.lower()
+    return "pool" in lowered or "executor" in lowered
+
+
+@register
+class PoolPicklabilityRule(Rule):
+    """Pool entry points must be module-level (picklable) functions."""
+
+    id = "RPL006"
+    name = "pool-picklability"
+    summary = "unpicklable callable submitted to a Pool/Executor"
+    rationale = (
+        "multiprocessing ships the entry point to the worker by pickling "
+        "its qualified name: lambdas, functions defined inside another "
+        "function, and bound methods either fail immediately under the "
+        "spawn start method or silently depend on fork sharing the "
+        "parent's memory.  Every callable passed to Pool.map/imap*/"
+        "apply* or Executor.submit must be a module-level function."
+    )
+
+    def check(self, unit: ModuleUnit, config: LintConfig) -> Iterator[Finding]:
+        assert unit.tree is not None
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _SUBMIT_METHODS:
+                continue
+            if not _pool_like(node.func.value):
+                continue
+            if not node.args:
+                continue
+            target = node.args[0]
+            message = self._target_violation(target, unit)
+            if message is not None:
+                yield self.finding(unit, target, message)
+
+    @staticmethod
+    def _target_violation(
+        target: ast.AST, unit: ModuleUnit
+    ) -> Optional[str]:
+        if isinstance(target, ast.Lambda):
+            return (
+                "lambda submitted to a pool; lambdas cannot be pickled — "
+                "define a module-level function"
+            )
+        if isinstance(target, ast.Name):
+            if target.id in unit.nested_functions:
+                return (
+                    f"nested function {target.id!r} submitted to a pool; "
+                    "functions defined inside another function cannot be "
+                    "pickled — move it to module level"
+                )
+            if target.id in unit.lambda_names:
+                return (
+                    f"{target.id!r} is bound to a lambda; lambdas cannot "
+                    "be pickled — define a module-level function"
+                )
+            return None
+        if isinstance(target, ast.Attribute):
+            root: ast.AST = target
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                resolved = unit.import_aliases.get(root.id)
+                if resolved is not None:
+                    return None  # module.function: picklable
+                if root.id == "self":
+                    return (
+                        "bound method submitted to a pool; the pickled "
+                        "method drags its whole instance across the "
+                        "process boundary — use a module-level function "
+                        "taking the needed fields"
+                    )
+            return (
+                "attribute callable submitted to a pool; bound methods "
+                "pickle their instance (or fail) — use a module-level "
+                "function"
+            )
+        return None
+
+
+@register
+class PayloadOpenHandlesRule(Rule):
+    """Worker payload dataclasses must not carry open handles."""
+
+    id = "RPL007"
+    name = "payload-open-handles"
+    summary = "worker payload dataclass field holds an open handle"
+    rationale = (
+        "Worker payloads (dataclasses named *Payload / *WorkItem, "
+        "config: payload_suffixes) are pickled into the child process. "
+        "An open file / socket / pipe field appears to work under fork "
+        "but references the wrong (or a closed) descriptor in the "
+        "child; ship paths and plain data, reopen inside the worker."
+    )
+
+    def check(self, unit: ModuleUnit, config: LintConfig) -> Iterator[Finding]:
+        assert unit.tree is not None
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                node.name.endswith(suffix) for suffix in config.payload_suffixes
+            ):
+                continue
+            if not self._is_dataclass(node):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                annotation = ast.unparse(stmt.annotation)
+                if any(marker in annotation for marker in _HANDLE_MARKERS):
+                    field = (
+                        stmt.target.id
+                        if isinstance(stmt.target, ast.Name)
+                        else ast.unparse(stmt.target)
+                    )
+                    yield self.finding(
+                        unit,
+                        stmt,
+                        f"payload field {field!r} is annotated "
+                        f"{annotation!r}: open handles must not cross the "
+                        "process boundary — ship a path and reopen in the "
+                        "worker",
+                    )
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = (
+                target.attr
+                if isinstance(target, ast.Attribute)
+                else getattr(target, "id", "")
+            )
+            if name == "dataclass":
+                return True
+        return False

@@ -93,7 +93,7 @@ class _NaryOp(Expr):
 
     symbol = "?"
 
-    def __init__(self, *operands: Expr):
+    def __init__(self, *operands: Expr) -> None:
         if len(operands) < 2:
             raise ValueError(f"{type(self).__name__} needs at least two operands")
         self.operands: Tuple[Expr, ...] = tuple(operands)
@@ -202,7 +202,7 @@ def _tokenize(text: str) -> Sequence[str]:
     return tokens
 
 
-def _parse_or(tokens: Sequence[str], pos: int):
+def _parse_or(tokens: Sequence[str], pos: int) -> Tuple["Expr", int]:
     lhs, pos = _parse_xor(tokens, pos)
     terms = [lhs]
     while pos < len(tokens) and tokens[pos] == "|":
@@ -211,7 +211,7 @@ def _parse_or(tokens: Sequence[str], pos: int):
     return (terms[0] if len(terms) == 1 else Or(*terms)), pos
 
 
-def _parse_xor(tokens: Sequence[str], pos: int):
+def _parse_xor(tokens: Sequence[str], pos: int) -> Tuple["Expr", int]:
     lhs, pos = _parse_and(tokens, pos)
     terms = [lhs]
     while pos < len(tokens) and tokens[pos] == "^":
@@ -220,7 +220,7 @@ def _parse_xor(tokens: Sequence[str], pos: int):
     return (terms[0] if len(terms) == 1 else Xor(*terms)), pos
 
 
-def _parse_and(tokens: Sequence[str], pos: int):
+def _parse_and(tokens: Sequence[str], pos: int) -> Tuple["Expr", int]:
     lhs, pos = _parse_unary(tokens, pos)
     terms = [lhs]
     while pos < len(tokens) and tokens[pos] == "&":
@@ -229,7 +229,7 @@ def _parse_and(tokens: Sequence[str], pos: int):
     return (terms[0] if len(terms) == 1 else And(*terms)), pos
 
 
-def _parse_unary(tokens: Sequence[str], pos: int):
+def _parse_unary(tokens: Sequence[str], pos: int) -> Tuple["Expr", int]:
     if pos >= len(tokens):
         raise ExprSyntaxError("unexpected end of expression")
     tok = tokens[pos]

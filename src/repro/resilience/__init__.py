@@ -52,7 +52,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     try:
         module_name, attr = _LAZY[name]
     except KeyError:

@@ -135,7 +135,9 @@ class FaultPlan:
 
     def save(self, path: Union[str, Path]) -> Path:
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        # A fault plan is chaos-test *input* the user writes and hands to
+        # --faults, not a run-dir artifact crash recovery must trust.
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")  # reprolint: disable=RPL005
         return path
 
     @classmethod

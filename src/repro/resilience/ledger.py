@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -77,7 +76,7 @@ def config_key(options: Mapping[str, object]) -> str:
 class RunLedger:
     """Atomic, resumable record of one library characterization run."""
 
-    def __init__(self, run_dir: Union[str, Path]):
+    def __init__(self, run_dir: Union[str, Path]) -> None:
         self.run_dir = Path(run_dir)
         self.path = self.run_dir / "ledger.json"
         self.models_dir = self.run_dir / "models"
@@ -252,7 +251,25 @@ class RunLedger:
             if data.get("cell") != name:
                 return False
             model_from_dict(data)
-        except Exception:
+        except Exception as exc:
+            # Classify and surface the rejection instead of silently
+            # dropping it (the original silent swallow here is RPL008's
+            # motivating instance): recover() deletes the artifact next,
+            # so this event is the only trace of *why* a checkpointed
+            # cell was thrown back to pending.
+            from repro import obs
+
+            obs.events().warning(
+                "resilience.artifact_invalid",
+                cell=name,
+                path=str(path),
+                kind=type(exc).__name__,
+                error=str(exc),
+                msg=(
+                    f"artifact for {name} failed validation "
+                    f"({type(exc).__name__}: {exc}); discarding it"
+                ),
+            )
             return False
         return True
 

@@ -191,14 +191,16 @@ def _cell_worker(payload: Dict[str, object]) -> None:
         rule = faults.fire(faults.SITE_ARTIFACT_WRITE)
         if rule is not None and rule.mode == "corrupt-artifact":
             # A bit-flipped / truncated checkpoint: valid-looking path,
-            # unparseable content, written *without* the atomic rename.
-            artifact.write_text('{"format": 1, "cell": "' + name)
+            # unparseable content, written *without* the atomic rename —
+            # this fault injection exists to violate the write discipline.
+            artifact.write_text('{"format": 1, "cell": "' + name)  # reprolint: disable=RPL005
             os._exit(0)
         if rule is not None and rule.mode == "midwrite-kill":
             # Killed mid-write: the temp file exists, the rename never
             # happened.  The parent must see a crash and no artifact.
             stray = artifact.parent / f".{artifact.name}.partial.tmp"
-            stray.write_text(json.dumps(data)[: max(1, len(name))])
+            # Deliberately torn temp file (simulated mid-write SIGKILL).
+            stray.write_text(json.dumps(data)[: max(1, len(name))])  # reprolint: disable=RPL005
             os._exit(faults.MIDWRITE_EXIT)
         _write_json_atomic(artifact, data)
         _write_json_atomic(

@@ -35,7 +35,7 @@ import numpy as np
 from repro import obs
 from repro.library.technology import ElectricalParams
 from repro.logic.fourval import V4, final_phase, initial_phase, word_from_phases
-from repro.simulation.solver import SolveResult, StaticSolver, X
+from repro.simulation.solver import SolveResult, StaticSolver
 from repro.simulation.switchgraph import (
     CellTopology,
     DRIVER_RESISTANCE,

@@ -15,11 +15,11 @@ Modeling choices (see DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.library.technology import ElectricalParams
-from repro.spice.netlist import NMOS, CellNetlist, Transistor
+from repro.spice.netlist import CellNetlist, Transistor
 
 #: default driver resistance seen looking back into a cell input [ohm]
 DRIVER_RESISTANCE = 2_000.0

@@ -19,10 +19,9 @@ This module provides the preprocessing a CA flow performs on such input:
 
 from __future__ import annotations
 
-import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-from repro.spice.netlist import CellNetlist, Transistor
+from repro.spice.netlist import CellNetlist
 from repro.spice.parser import SpiceSyntaxError, _logical_lines, parse_value
 
 

@@ -16,10 +16,10 @@ by conventional names, device polarity is resolved through
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.spice import dialects
-from repro.spice.netlist import CellNetlist, NetlistError, Transistor
+from repro.spice.netlist import CellNetlist, Transistor
 
 _RAIL_POWER = ("vdd", "vcc", "vpwr", "vddd")
 _RAIL_GROUND = ("vss", "gnd", "vgnd", "vssd", "0")

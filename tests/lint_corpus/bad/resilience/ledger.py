@@ -1,0 +1,21 @@
+"""RPL004 fixture: wall-clock reads in a canonical-artifact module.
+
+The file name mirrors ``resilience/ledger.py`` so the default
+``wallclock_paths`` scope applies.  ``RunLedger.open`` is the
+allowlisted site — its read must NOT be flagged; the artifact-level
+stamp must.
+"""
+
+import time
+
+
+class RunLedger:
+    def open(self):
+        # allowlisted timing site (config: wallclock_allowed)
+        self.created = time.time()
+        return self
+
+
+def stamp_artifact(record):
+    record["written_at"] = time.time()
+    return record

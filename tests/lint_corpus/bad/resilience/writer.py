@@ -1,0 +1,12 @@
+"""RPL005 fixture: direct writes under a run-dir/artifact path."""
+
+import json
+
+
+def checkpoint(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def note(path, text):
+    path.write_text(text)

@@ -1,0 +1,6 @@
+"""RPL001 fixture: bare print() in library code."""
+
+
+def report(cell_name):
+    print(f"done with {cell_name}")
+    return cell_name

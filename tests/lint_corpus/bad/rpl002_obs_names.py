@@ -1,0 +1,15 @@
+"""RPL002 fixture: typo'd metric and event names.
+
+One typo inside a registered namespace (caught against the catalog,
+with a did-you-mean hint) and one typo *in the namespace itself*.
+"""
+
+from repro import obs
+
+M_SOLVES_TYPO = "camodel.sim.sovles"
+
+
+def account(registry):
+    registry.inc(M_SOLVES_TYPO)
+    obs.metrics().inc("camodel.sim.cache_hist")
+    obs.events().info("resilence.retry", cell="NAND2")

@@ -1,0 +1,15 @@
+"""RPL003 fixture: module-global RNG and unseeded generators."""
+
+import random
+
+import numpy as np
+
+
+def sample_cells(cells):
+    random.shuffle(cells)
+    rng = np.random.default_rng()
+    return rng.choice(cells)
+
+
+def jitter():
+    return np.random.uniform(0.0, 1.0)

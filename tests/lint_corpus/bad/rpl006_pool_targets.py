@@ -1,0 +1,21 @@
+"""RPL006 fixture: unpicklable pool entry points."""
+
+import multiprocessing
+
+
+def run_all(items):
+    def worker(item):
+        return item * 2
+
+    with multiprocessing.Pool() as pool:
+        doubled = pool.map(worker, items)
+        bumped = pool.map(lambda x: x + 1, items)
+    return doubled + bumped
+
+
+class Runner:
+    def step(self, item):
+        return item
+
+    def go(self, pool, items):
+        return pool.map(self.step, items)

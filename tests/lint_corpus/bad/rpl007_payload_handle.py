@@ -1,0 +1,10 @@
+"""RPL007 fixture: an open handle riding a worker payload."""
+
+from dataclasses import dataclass
+from typing import TextIO
+
+
+@dataclass
+class CellWorkPayload:
+    name: str
+    log_handle: TextIO

@@ -1,0 +1,11 @@
+"""RPL006 suppression fixture."""
+
+import multiprocessing
+
+
+def run_all(items):
+    def worker(item):
+        return item * 2
+
+    with multiprocessing.Pool() as pool:
+        return pool.map(worker, items)  # reprolint: disable=RPL006

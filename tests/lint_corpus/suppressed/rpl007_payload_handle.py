@@ -1,0 +1,10 @@
+"""RPL007 suppression fixture."""
+
+from dataclasses import dataclass
+from typing import TextIO
+
+
+@dataclass
+class CellWorkPayload:
+    name: str
+    log_handle: TextIO  # reprolint: disable=RPL007

@@ -1,0 +1,8 @@
+"""RPL008 suppression fixture: disable=all also works."""
+
+
+def load(path):
+    try:
+        return path.read_text()
+    except Exception:  # reprolint: disable=all
+        return None

@@ -1,0 +1,353 @@
+"""Unit tests for the repro.lint framework (engine, rules, reporters).
+
+The fixture-corpus integration tests live in tests/test_lint_corpus.py;
+these tests exercise the framework mechanics on inline snippets.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintConfig,
+    all_rules,
+    apply_baseline,
+    check_unit,
+    get_rule,
+    load_baseline,
+    render_json,
+    render_sarif,
+    run_lint,
+    select_rules,
+    write_baseline,
+)
+from repro.lint.engine import ModuleUnit
+
+
+def lint_snippet(source, rule_ids=None, path="pkg/mod.py", config=None):
+    unit = ModuleUnit(Path(path), path, source)
+    rules = select_rules(rule_ids) if rule_ids else all_rules()
+    return check_unit(unit, rules, config or LintConfig())
+
+
+# ----------------------------------------------------------------------
+# Registry / selection
+# ----------------------------------------------------------------------
+
+def test_registry_has_all_rule_families():
+    ids = [rule.id for rule in all_rules()]
+    assert ids == sorted(ids), "rules must come back ordered by id"
+    for expected in (
+        "RPL001", "RPL002", "RPL003", "RPL004",
+        "RPL005", "RPL006", "RPL007", "RPL008",
+    ):
+        assert expected in ids
+    for rule in all_rules():
+        assert rule.summary and rule.rationale, rule.id
+
+
+def test_select_and_ignore():
+    assert [r.id for r in select_rules(["RPL001"])] == ["RPL001"]
+    remaining = {r.id for r in select_rules(None, ["RPL001", "RPL008"])}
+    assert "RPL001" not in remaining and "RPL008" not in remaining
+    with pytest.raises(ValueError):
+        select_rules(["RPL999"])
+    with pytest.raises(ValueError):
+        select_rules(None, ["nope"])
+
+
+def test_get_rule_and_parse_error(tmp_path):
+    assert get_rule("RPL001") is not None
+    assert get_rule("RPL999") is None
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    findings = run_lint([bad])
+    assert [f.rule_id for f in findings] == ["RPL000"]
+    assert "does not parse" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+def test_inline_suppression_same_line():
+    src = "print('x')  # reprolint: disable=RPL001\n"
+    assert lint_snippet(src, ["RPL001"]) == []
+
+
+def test_suppression_next_line_and_multiple_ids():
+    src = (
+        "# reprolint: disable-next-line=RPL001, RPL003\n"
+        "print('x')\n"
+        "print('y')\n"
+    )
+    findings = lint_snippet(src, ["RPL001"])
+    assert [f.line for f in findings] == [3]
+
+
+def test_file_level_suppression_and_all():
+    src = "# reprolint: disable-file=RPL001\nprint('x')\n"
+    assert lint_snippet(src, ["RPL001"]) == []
+    src_all = "print('x')  # reprolint: disable=all\n"
+    assert lint_snippet(src_all, ["RPL001"]) == []
+
+
+def test_suppression_of_other_rule_does_not_mask():
+    src = "print('x')  # reprolint: disable=RPL005\n"
+    findings = lint_snippet(src, ["RPL001"])
+    assert [f.rule_id for f in findings] == ["RPL001"]
+
+
+# ----------------------------------------------------------------------
+# Individual rules: negatives that must NOT fire
+# ----------------------------------------------------------------------
+
+def test_rpl001_allows_sanctioned_sinks():
+    src = "print('cli output')\n"
+    assert lint_snippet(src, ["RPL001"], path="src/repro/cli.py") == []
+    assert lint_snippet(src, ["RPL001"], path="x/mod.py")
+
+
+def test_rpl002_registered_and_dynamic_names_pass():
+    src = (
+        "from repro import obs\n"
+        "def f(name):\n"
+        "    obs.metrics().inc('camodel.sim.solves')\n"
+        "    obs.events().warning('cache.unreadable', path='p')\n"
+        "    obs.metrics().inc(name)  # dynamic: out of scope\n"
+    )
+    assert lint_snippet(src, ["RPL002"]) == []
+
+
+def test_rpl002_resolves_module_constants():
+    src = (
+        "from repro import obs\n"
+        "M_TYPO = 'camodel.sim.sovles'\n"
+        "def f():\n"
+        "    obs.metrics().inc(M_TYPO)\n"
+    )
+    findings = lint_snippet(src, ["RPL002"])
+    assert len(findings) == 1 and "did you mean" in findings[0].message
+
+
+def test_rpl002_extra_names_config():
+    src = "from repro import obs\nobs.events().info('cache.custom')\n"
+    assert lint_snippet(src, ["RPL002"])
+    cfg = LintConfig().with_extra_names("cache.custom")
+    assert lint_snippet(src, ["RPL002"], config=cfg) == []
+
+
+def test_rpl002_ignores_unrelated_methods():
+    # .info()/.error() on arbitrary objects is not an obs emission
+    src = "def f(logger):\n    logger.info('not.a.registered.name')\n"
+    assert lint_snippet(src, ["RPL002"]) == []
+
+
+def test_rpl003_seeded_generators_pass():
+    src = (
+        "import random\n"
+        "import numpy as np\n"
+        "def f(seed):\n"
+        "    a = random.Random(seed).random()\n"
+        "    b = np.random.default_rng(seed).random()\n"
+        "    c = np.random.default_rng(seed=seed)\n"
+        "    return a, b, c\n"
+    )
+    assert lint_snippet(src, ["RPL003"]) == []
+
+
+def test_rpl003_explicit_none_seed_still_flagged():
+    src = "import numpy as np\nrng = np.random.default_rng(None)\n"
+    assert lint_snippet(src, ["RPL003"])
+
+
+def test_rpl004_only_in_scoped_paths():
+    src = "import time\ndef f():\n    return time.time()\n"
+    assert lint_snippet(src, ["RPL004"], path="x/utils.py") == []
+    assert lint_snippet(src, ["RPL004"], path="x/camodel/io.py")
+
+
+def test_rpl004_from_import_datetime():
+    src = (
+        "from datetime import datetime\n"
+        "def f():\n    return datetime.now()\n"
+    )
+    assert lint_snippet(src, ["RPL004"], path="x/camodel/io.py")
+
+
+def test_rpl005_reads_and_fdopen_pass():
+    src = (
+        "import os, json\n"
+        "def read(path):\n"
+        "    with open(path) as handle:\n"
+        "        return json.load(handle)\n"
+        "def via_fd(fd, payload):\n"
+        "    with os.fdopen(fd, 'w') as handle:\n"
+        "        json.dump(payload, handle)\n"
+    )
+    assert lint_snippet(src, ["RPL005"], path="x/resilience/mod.py") == []
+
+
+def test_rpl005_allowlisted_writer_qualname():
+    src = (
+        "def _write_json_atomic(path, payload):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(payload)\n"
+    )
+    cfg = LintConfig(
+        atomic_paths=("*/pkg/*",),
+        atomic_writers=("*/pkg/mod.py::_write_json_atomic",),
+    )
+    assert lint_snippet(src, ["RPL005"], config=cfg) == []
+
+
+def test_rpl006_module_level_functions_pass():
+    src = (
+        "import multiprocessing\n"
+        "import helpers\n"
+        "def worker(x):\n    return x\n"
+        "def run(items):\n"
+        "    with multiprocessing.Pool() as pool:\n"
+        "        a = pool.map(worker, items)\n"
+        "        b = pool.imap_unordered(helpers.work, items)\n"
+        "    return a, b\n"
+    )
+    assert lint_snippet(src, ["RPL006"]) == []
+
+
+def test_rpl007_plain_payloads_pass():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class CellWorkPayload:\n"
+        "    name: str\n"
+        "    options: dict\n"
+    )
+    assert lint_snippet(src, ["RPL007"]) == []
+
+
+def test_rpl008_specific_exceptions_out_of_scope():
+    src = (
+        "def f(path):\n"
+        "    try:\n        path.unlink()\n"
+        "    except OSError:\n        pass\n"
+    )
+    assert lint_snippet(src, ["RPL008"]) == []
+
+
+def test_rpl008_classifying_handlers_pass():
+    reraise = (
+        "def f():\n    try:\n        g()\n"
+        "    except Exception:\n        raise RuntimeError('ctx')\n"
+    )
+    classify = (
+        "def f():\n    try:\n        g()\n"
+        "    except Exception as exc:\n"
+        "        return {'kind': 'exception', 'error': str(exc)}\n"
+    )
+    emit = (
+        "from repro import obs\n"
+        "def f():\n    try:\n        g()\n"
+        "    except Exception:\n"
+        "        obs.events().warning('cache.unreadable')\n"
+        "        return False\n"
+    )
+    for src in (reraise, classify, emit):
+        assert lint_snippet(src, ["RPL008"]) == [], src
+
+
+# ----------------------------------------------------------------------
+# Reporters / baseline
+# ----------------------------------------------------------------------
+
+def _sample_findings():
+    return [
+        Finding(
+            rule_id="RPL001",
+            rule_name="no-print",
+            path="pkg/mod.py",
+            line=3,
+            col=5,
+            message="bare print()",
+            line_text="print('x')",
+        )
+    ]
+
+
+def test_json_reporter_contract():
+    data = json.loads(render_json(_sample_findings()))
+    assert data["format"] == 1
+    (finding,) = data["findings"]
+    assert finding["rule"] == "RPL001"
+    assert finding["path"] == "pkg/mod.py"
+    assert finding["line"] == 3
+    assert finding["fingerprint"]
+
+
+def test_sarif_reporter_contract():
+    sarif = json.loads(render_sarif(_sample_findings(), all_rules()))
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "RPL001" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "RPL001"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "pkg/mod.py"
+    assert location["region"]["startLine"] == 3
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = _sample_findings()
+    path = write_baseline(tmp_path / "baseline.json", findings)
+    fingerprints = load_baseline(path)
+    fresh, suppressed = apply_baseline(findings, fingerprints)
+    assert fresh == [] and suppressed == 1
+
+
+def test_fingerprint_survives_line_shift(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("print('x')\n")
+    (before,) = run_lint([mod], select_rules(["RPL001"]))
+    mod.write_text("import sys\n\n\nprint('x')\n")
+    (after,) = run_lint([mod], select_rules(["RPL001"]))
+    assert before.line != after.line
+    assert before.fingerprint == after.fingerprint
+
+
+def test_fingerprint_distinguishes_identical_lines(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("print('x')\nprint('x')\n")
+    findings = run_lint([mod], select_rules(["RPL001"]))
+    assert len(findings) == 2
+    assert findings[0].fingerprint != findings[1].fingerprint
+
+
+# ----------------------------------------------------------------------
+# Catalog rot guards
+# ----------------------------------------------------------------------
+
+def test_catalog_matches_defining_modules():
+    import repro.camodel.stats as stats
+    import repro.resilience.runner as runner
+    from repro.lint.catalog import METRIC_NAMES
+
+    for module in (stats, runner):
+        for attr in dir(module):
+            if attr.startswith("M_"):
+                value = getattr(module, attr)
+                assert value in METRIC_NAMES, (
+                    f"{module.__name__}.{attr} = {value!r} missing from "
+                    "repro.lint.catalog.METRIC_NAMES"
+                )
+
+
+def test_catalog_names_live_in_registered_namespaces():
+    from repro.lint.catalog import NAMESPACES, REGISTERED_NAMES
+
+    for name in REGISTERED_NAMES:
+        assert "." in name, name
+        assert name.split(".", 1)[0] in NAMESPACES, name

@@ -1,0 +1,110 @@
+"""Integration tests: `python -m repro lint` against the fixture corpus.
+
+The corpus layout is documented in tests/lint_corpus/README.md:
+
+- bad/        one fixture per rule family; golden.json pins the findings
+- suppressed/ the same violations, silenced via every suppression form
+- baseline/   a known-debt file, adopted through --write-baseline
+
+These tests run the real CLI as a subprocess so exit codes, argument
+parsing, and reporter plumbing are all exercised end to end.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CORPUS = Path("tests") / "lint_corpus"
+
+
+def run_cli(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_bad_corpus_matches_golden():
+    proc = run_cli(str(CORPUS / "bad"), "--format", "json")
+    assert proc.returncode == 1, proc.stderr
+    got = json.loads(proc.stdout)
+    golden = json.loads((REPO_ROOT / CORPUS / "golden.json").read_text())
+    assert got == golden, (
+        "lint output drifted from tests/lint_corpus/golden.json; if the "
+        "change is intentional, regenerate it (see tests/lint_corpus/README.md)"
+    )
+
+
+def test_bad_corpus_covers_every_rule_family():
+    golden = json.loads((REPO_ROOT / CORPUS / "golden.json").read_text())
+    fired = {f["rule"] for f in golden["findings"]}
+    for rule_id in (
+        "RPL001", "RPL002", "RPL003", "RPL004",
+        "RPL005", "RPL006", "RPL007", "RPL008",
+    ):
+        assert rule_id in fired, f"no bad-corpus fixture triggers {rule_id}"
+
+
+def test_suppressed_corpus_is_clean():
+    proc = run_cli(str(CORPUS / "suppressed"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "found 0 problem(s)" in proc.stdout
+
+
+def test_baseline_round_trip(tmp_path):
+    target = str(CORPUS / "baseline")
+    baseline = tmp_path / "baseline.json"
+
+    # Without a baseline the known-debt file fails the lint.
+    proc = run_cli(target)
+    assert proc.returncode == 1
+
+    proc = run_cli(target, "--write-baseline", str(baseline))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert json.loads(baseline.read_text())["fingerprints"]
+
+    # With the baseline applied, the same tree is clean...
+    proc = run_cli(target, "--baseline", str(baseline))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    # ...but new findings still surface through it.
+    proc = run_cli(str(CORPUS / "bad"), "--baseline", str(baseline))
+    assert proc.returncode == 1
+
+
+def test_select_and_ignore_cli():
+    proc = run_cli(str(CORPUS / "bad"), "--select", "RPL001", "--format", "json")
+    assert proc.returncode == 1
+    rules = {f["rule"] for f in json.loads(proc.stdout)["findings"]}
+    assert rules == {"RPL001"}
+
+    proc = run_cli(str(CORPUS / "bad"), "--select", "RPL999")
+    assert proc.returncode == 2
+    assert "RPL999" in proc.stderr
+
+
+def test_list_rules_and_explain():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("RPL001", "RPL008"):
+        assert rule_id in proc.stdout
+
+    proc = run_cli("--explain", "RPL004")
+    assert proc.returncode == 0
+    assert "wall-clock" in proc.stdout.lower()
+
+
+def test_src_tree_is_lint_clean():
+    """The acceptance gate: the shipped source tree has zero findings."""
+    proc = run_cli("src")
+    assert proc.returncode == 0, (
+        "`python -m repro lint src` must stay clean:\n" + proc.stdout + proc.stderr
+    )
