@@ -1,0 +1,78 @@
+"""Library-scale bench: cross-cell packed throughput vs per-cell batched.
+
+The per-cell batch kernel already removed the scalar-python wall, but at
+library scale its fixed per-call NumPy overhead returns: small cells
+need hundreds of tiny kernel calls each.  The cross-cell engine
+(:func:`repro.camodel.run_throughput`) packs phase batches from every
+cell and defect into shared padded kernel calls, so the bench metric is
+whole-library throughput — cells per minute — not per-cell seconds.
+
+The measured numbers land in ``BENCH_library.json`` at the repo root
+(CI archives every ``BENCH_*.json``).  Identity is asserted here too:
+the speedup only counts because the engine's models are canonically
+identical to the per-cell reference.
+"""
+
+import time
+
+from repro.camodel import generate_ca_model, run_throughput
+from repro.library import SOI28, build_cell
+from repro.resilience.runner import canonical_model_dict
+
+# Small cells at two drives: the regime where per-call kernel overhead
+# dominates and cross-cell packing pays the most.
+FUNCTIONS = ("INV", "NAND2", "NOR2", "AND2", "OR2")
+DRIVES = (1, 2)
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_library_throughput_speedup(bench_record):
+    """The cross-cell engine must at least double whole-library
+    throughput over the per-cell batched baseline — while producing
+    canonically identical models.  Delay detection is off so the
+    measurement isolates phase solving."""
+    cells = [build_cell(SOI28, fn, d) for fn in FUNCTIONS for d in DRIVES]
+    kwargs = dict(delay_detection=False)
+
+    baseline_seconds, baseline = _best_of(
+        lambda: {
+            cell.name: generate_ca_model(cell, batched=True, **kwargs)
+            for cell in cells
+        }
+    )
+    engine_seconds, engine = _best_of(lambda: run_throughput(cells, **kwargs))
+
+    assert set(engine) == set(baseline)
+    for name in baseline:
+        assert canonical_model_dict(engine[name]) == canonical_model_dict(
+            baseline[name]
+        )
+
+    baseline_cpm = len(cells) / baseline_seconds * 60.0
+    engine_cpm = len(cells) / engine_seconds * 60.0
+    speedup = baseline_seconds / engine_seconds
+    bench_record.add(
+        "library",
+        benchmark="cross_cell_packed_vs_per_cell_batched",
+        cells=len(cells),
+        defects=sum(m.n_defects for m in baseline.values()),
+        baseline_seconds=round(baseline_seconds, 4),
+        engine_seconds=round(engine_seconds, 4),
+        baseline_cells_per_minute=round(baseline_cpm, 1),
+        engine_cells_per_minute=round(engine_cpm, 1),
+        speedup=round(speedup, 2),
+    )
+    print(
+        f"\nper-cell batched {baseline_cpm:.0f} cells/min vs packed engine "
+        f"{engine_cpm:.0f} cells/min -> {speedup:.2f}x"
+    )
+    assert speedup >= 2.0

@@ -26,7 +26,13 @@ from repro.camodel.io import (
     save_model,
     save_models,
 )
-from repro.camodel.batch import LibraryGenerationError, generate_library
+from repro.camodel.batch import (
+    LibraryGenerationError,
+    ensure_unique_cell_names,
+    generate_library,
+)
+from repro.camodel.planstore import PlanStore, plan_store
+from repro.camodel.throughput import run_throughput
 from repro.camodel.merge import MergedModel, MergeError, merge_models
 from repro.camodel.udfm import parse_udfm, save_udfm, to_udfm
 from repro.camodel.compare import ComparisonError, LibraryDiff, ModelDiff, compare_models
@@ -81,6 +87,10 @@ __all__ = [
     "ComparisonError",
     "generate_library",
     "LibraryGenerationError",
+    "ensure_unique_cell_names",
+    "PlanStore",
+    "plan_store",
+    "run_throughput",
     "to_udfm",
     "save_udfm",
     "parse_udfm",

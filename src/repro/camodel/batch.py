@@ -19,17 +19,42 @@ from __future__ import annotations
 
 import multiprocessing
 import traceback
+from collections import Counter
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
-from repro.camodel.generate import DEFAULT_SLOW_FACTOR, generate_ca_model
+from repro.camodel.generate import (
+    DEFAULT_SLOW_FACTOR,
+    PhaseCacheArg,
+    generate_ca_model,
+)
 from repro.camodel.io import model_from_dict, model_to_dict
 from repro.camodel.model import CAModel
+from repro.camodel.planstore import plan_store
 from repro.defects.model import Defect
 from repro.library.technology import ElectricalParams
+from repro.resilience.faults import FaultPlan
 from repro.spice.netlist import CellNetlist
 from repro.spice.writer import write_cell
+
+
+def ensure_unique_cell_names(names: Sequence[str]) -> None:
+    """Reject duplicate cell names in one counting pass.
+
+    A later model would silently shadow the earlier one in the returned
+    ``{name: model}`` dict, so every library path treats duplicates as an
+    error.  Shared by the inline/pooled paths here, the cross-cell
+    throughput engine and the resilient runner (the old per-path
+    ``names.count(n)`` guards were O(n^2) over large libraries).
+    """
+    duplicates = sorted(
+        name for name, count in Counter(names).items() if count > 1
+    )
+    if duplicates:
+        raise ValueError(
+            f"duplicate cell names in library: {', '.join(duplicates)}"
+        )
 
 
 class LibraryGenerationError(RuntimeError):
@@ -63,12 +88,13 @@ def _characterize_worker(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
 
     Runs under a fresh obs scope: the span buffer and metric snapshot ride
     back with the model so the parent can merge them into one coherent
-    run-level trace and registry.  Exceptions are returned as structured
-    error tuples instead of propagating, so one bad cell cannot discard
-    the pool's completed siblings.
+    run-level trace and registry — on the error path too, so the work a
+    failing cell did before dying (solver spans, cache counters) is not
+    silently dropped from the run-level accounting.  Exceptions are
+    returned as structured error tuples instead of propagating, so one
+    bad cell cannot discard the pool's completed siblings.
     """
     name, cell_text, technology, policy, kwargs, trace_enabled = payload
-    from repro.spice.parser import parse_cell
 
     worker_tracer = obs.Tracer(enabled=trace_enabled)
     worker_metrics = obs.Metrics()
@@ -78,7 +104,9 @@ def _characterize_worker(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
             metrics=worker_metrics,
             events=obs.EventLog(obs.NullSink()),
         ):
-            cell = parse_cell(cell_text, technology=technology)
+            # Plan-once / replay-many: repeated payloads of one cell in
+            # this worker process reuse the parsed netlist.
+            cell = plan_store().cell(cell_text, technology)
             model = generate_ca_model(cell, policy=policy, **kwargs)
     except Exception as exc:  # noqa: BLE001 - reported to the parent
         return (
@@ -86,6 +114,8 @@ def _characterize_worker(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
             name,
             f"{type(exc).__name__}: {exc}",
             traceback.format_exc(),
+            worker_tracer.export(),
+            worker_metrics.snapshot(),
         )
     return (
         "ok",
@@ -107,10 +137,15 @@ def generate_library(
     slow_factor: float = DEFAULT_SLOW_FACTOR,
     parallelism: Optional[int] = None,
     batched: bool = True,
+    packed: bool = False,
+    phase_cache: PhaseCacheArg = None,
     run_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
     retries: int = 1,
     cell_timeout: Optional[float] = None,
+    retry_backoff: float = 0.1,
+    fault_plan: Optional[FaultPlan] = None,
+    output: Optional[Union[str, Path]] = None,
 ) -> Dict[str, CAModel]:
     """Characterize many cells, optionally in parallel.
 
@@ -130,10 +165,40 @@ def generate_library(
     resilient runner (:func:`repro.resilience.run_library`): per-cell
     state and model artifacts persist to the directory, ``resume=True``
     continues a killed run, and failures are retried (``retries``,
-    ``cell_timeout``) then quarantined — the dict returned is then the
-    (possibly partial) set of completed models.
+    ``cell_timeout``, ``retry_backoff``) then quarantined — the dict
+    returned is then the (possibly partial) set of completed models.
+    ``fault_plan`` and ``output`` are likewise run-dir options, forwarded
+    verbatim; passing any run-dir-only option *without* ``run_dir`` is an
+    error (it used to be silently ignored).
+
+    ``packed=True`` solves through the cross-topology packed kernel: the
+    inline path routes whole libraries through
+    :func:`~repro.camodel.throughput.run_throughput` (every cell's phases
+    share kernel calls), the pooled paths pack each worker's defect
+    slice.  ``phase_cache`` persists solved phases across runs (see
+    :func:`~repro.camodel.generate.generate_ca_model`).  Both knobs are
+    identity-preserving: models are byte-identical either way.
     """
-    if run_dir is not None:
+    if run_dir is None:
+        rundir_only = {
+            "resume": (resume, False),
+            "retries": (retries, 1),
+            "cell_timeout": (cell_timeout, None),
+            "retry_backoff": (retry_backoff, 0.1),
+            "fault_plan": (fault_plan, None),
+            "output": (output, None),
+        }
+        offending = sorted(
+            option
+            for option, (value, default) in rundir_only.items()
+            if value != default
+        )
+        if offending:
+            raise ValueError(
+                f"{', '.join(offending)} require(s) run_dir=... — these "
+                "options only apply to the checkpointed resilient runner"
+            )
+    else:
         from repro.resilience.runner import run_library
 
         result = run_library(
@@ -144,21 +209,21 @@ def generate_library(
             resume=resume,
             retries=retries,
             cell_timeout=cell_timeout,
+            retry_backoff=retry_backoff,
+            fault_plan=fault_plan,
             params=params,
             universe=universe,
             delay_detection=delay_detection,
             slow_factor=slow_factor,
             parallelism=parallelism,
             batched=batched,
+            packed=packed,
+            phase_cache=phase_cache,
+            output=output,
         )
         return result.models
 
-    names = [cell.name for cell in cells]
-    duplicates = sorted({n for n in names if names.count(n) > 1})
-    if duplicates:
-        raise ValueError(
-            f"duplicate cell names in library: {', '.join(duplicates)}"
-        )
+    ensure_unique_cell_names([cell.name for cell in cells])
 
     kwargs = dict(
         params=params,
@@ -166,12 +231,31 @@ def generate_library(
         delay_detection=delay_detection,
         slow_factor=slow_factor,
         batched=batched,
+        packed=packed,
+        phase_cache=phase_cache,
     )
     tracer = obs.tracer()
     registry = obs.metrics()
     out: Dict[str, CAModel] = {}
     failures: List[Dict[str, str]] = []
     if processes is None or processes <= 1:
+        if packed and batched and (parallelism is None or parallelism <= 1):
+            # Whole-library cross-cell packing: every cell's phase
+            # batches share kernel calls (byte-identical models).
+            from repro.camodel.throughput import run_throughput
+
+            with tracer.span(
+                "camodel.generate_library", cells=len(cells), processes=1
+            ):
+                return run_throughput(
+                    cells,
+                    policy=policy,
+                    params=params,
+                    universe=universe,
+                    delay_detection=delay_detection,
+                    slow_factor=slow_factor,
+                    phase_cache=phase_cache,
+                )
         with tracer.span(
             "camodel.generate_library", cells=len(cells), processes=1
         ):
@@ -211,7 +295,11 @@ def generate_library(
                 _characterize_worker, payloads, chunksize=chunksize
             ):
                 if item[0] == "error":
-                    _, name, error, tb = item
+                    _, name, error, tb, spans, metric_snapshot = item
+                    # The failing worker's partial work still happened:
+                    # absorb its spans and counters like a success.
+                    tracer.absorb(spans, parent_id=library_span.span_id)
+                    registry.merge(metric_snapshot)
                     failures.append(
                         {"cell": name, "error": error, "traceback": tb}
                     )

@@ -42,7 +42,8 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,15 +62,26 @@ from repro.camodel.stats import (
     M_SOLVES,
     M_TOTAL_SECONDS,
 )
-from repro.camodel.stimuli import Word, stimuli as make_stimuli
+from repro.camodel.planstore import plan_store
+from repro.camodel.stimuli import Word
 from repro.defects.model import Defect
 from repro.defects.universe import default_universe
 from repro.library.technology import ElectricalParams
 from repro.library.technology import get as get_technology
 from repro.logic.fourval import V4
-from repro.simulation.engine import CellSimulator, WordPlan, split_word
-from repro.simulation.switchgraph import CellTopology
+from repro.simulation.engine import (
+    CellSimulator,
+    WordPlan,
+    solve_words_across,
+    split_word,
+)
+from repro.simulation.phasecache import PhaseCacheStore, attach_store
+from repro.simulation.switchgraph import CellTopology, DefectEffect
 from repro.spice.netlist import CellNetlist
+
+#: accepted forms of the on-disk phase-cache argument: a directory path
+#: or an already-constructed store (``None`` disables persistence)
+PhaseCacheArg = Optional[Union[str, Path, PhaseCacheStore]]
 
 #: with 'auto', exhaustive stimuli are used up to this input count and the
 #: adjacent (single-input-transition) set beyond — see DESIGN.md
@@ -123,6 +135,7 @@ class _GoldenRun:
         topology: Optional[CellTopology] = None,
         batched: bool = True,
         plans: Optional[Sequence[WordPlan]] = None,
+        sim: Optional[CellSimulator] = None,
     ) -> None:
         self.topology = topology or CellTopology(cell, params=params)
         self.plans = (
@@ -130,9 +143,12 @@ class _GoldenRun:
             if plans is not None
             else [split_word(w, cell.n_inputs, cell.name) for w in words]
         )
-        sim = CellSimulator(
-            cell, params=params, topology=self.topology, batched=batched
-        )
+        if sim is None:
+            # *sim* lets the cross-cell engine hand in the simulator whose
+            # phases it already packed; counters must accrue on that object.
+            sim = CellSimulator(
+                cell, params=params, topology=self.topology, batched=batched
+            )
         solved = sim.solve_words(words, self.plans)
         self.golden: Dict[str, List[V4]] = {}
         self.transition_cols: Dict[str, List[int]] = {}
@@ -155,6 +171,37 @@ class _GoldenRun:
         self.batched_count = sim.batched_count
 
 
+def _prepare_defect_rows(
+    cell: CellNetlist,
+    params: ElectricalParams,
+    defects: Sequence[Defect],
+    topology: CellTopology,
+    batched: bool,
+) -> List[Tuple[DefectEffect, Optional[CellSimulator]]]:
+    """Materialize every defect's (effect, simulator) row in defect order.
+
+    Benign / golden-equivalent defects carry no simulator; the rest get
+    the simulator the detection loop would have built, so the packed
+    planner can see the whole slice's phase demand up front.
+    """
+    rows: List[Tuple[DefectEffect, Optional[CellSimulator]]] = []
+    for defect in defects:
+        effect = defect.effect(cell, params.short_resistance)
+        if effect.benign or effect.is_golden:
+            rows.append((effect, None))
+        else:
+            rows.append(
+                (
+                    effect,
+                    CellSimulator(
+                        cell, params=params, effect=effect,
+                        topology=topology, batched=batched,
+                    ),
+                )
+            )
+    return rows
+
+
 def _simulate_defect_rows(
     cell: CellNetlist,
     params: ElectricalParams,
@@ -169,6 +216,10 @@ def _simulate_defect_rows(
     progress_offset: int = 0,
     progress_total: Optional[int] = None,
     batched: bool = True,
+    packed: bool = False,
+    prepared_rows: Optional[
+        List[Tuple[DefectEffect, Optional[CellSimulator]]]
+    ] = None,
 ) -> Tuple[
     Dict[str, np.ndarray],
     Optional[Dict[str, List[List[V4]]]],
@@ -182,9 +233,30 @@ def _simulate_defect_rows(
     byte-identical to the serial table.  Each defect is simulated once
     and every output port's detection row is read from the same solved
     phases.
+
+    With ``packed=True`` the slice's phase demand is planned up front and
+    solved through the cross-topology packed kernel
+    (:func:`~repro.simulation.engine.solve_words_across` with
+    ``assemble=False``); the per-defect loop below then assembles from
+    the staged results with unchanged order and cost accounting.
+    *prepared_rows* lets a caller that already packed a larger scope
+    (the cross-cell library engine) hand in the materialized rows.
     """
     topology = golden_run.topology
     total = progress_total if progress_total is not None else len(defects)
+
+    if prepared_rows is None and packed and batched:
+        prepared_rows = _prepare_defect_rows(
+            cell, params, defects, topology, batched
+        )
+        solve_words_across(
+            [
+                (sim, words, golden_run.plans)
+                for _effect, sim in prepared_rows
+                if sim is not None
+            ],
+            assemble=False,
+        )
 
     detection = {
         port: np.zeros((len(defects), len(words)), dtype=np.int8)
@@ -199,14 +271,18 @@ def _simulate_defect_rows(
     }
 
     for row, defect in enumerate(defects):
-        effect = defect.effect(cell, params.short_resistance)
+        if prepared_rows is not None:
+            effect, prepared_sim = prepared_rows[row]
+        else:
+            effect = defect.effect(cell, params.short_resistance)
+            prepared_sim = None
         if effect.benign or effect.is_golden:
             counters["skipped"] += 1
             if responses is not None:
                 for port in ports:
                     responses[port].append(list(golden_run.golden[port]))
         else:
-            sim = CellSimulator(
+            sim = prepared_sim if prepared_sim is not None else CellSimulator(
                 cell, params=params, effect=effect, topology=topology,
                 batched=batched,
             )
@@ -265,8 +341,9 @@ def _defect_chunk_worker(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
         keep_responses,
         trace_enabled,
         batched,
+        packed,
+        phase_cache,
     ) = payload
-    from repro.spice.parser import parse_cell
 
     worker_tracer = obs.Tracer(enabled=trace_enabled)
     with obs.scoped(
@@ -277,12 +354,19 @@ def _defect_chunk_worker(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
         with worker_tracer.span(
             "generate.chunk", chunk=index, defects=len(defects)
         ):
-            cell = parse_cell(cell_text, technology=technology)
-            words = make_stimuli(cell.n_inputs, policy)
+            # Plan-once / replay-many: repeated chunks (and retried
+            # attempts) of one cell in the same worker process reuse the
+            # parsed netlist, the stimulus plans and the topology instead
+            # of rebuilding them per payload.
+            store_ = plan_store()
+            cell = store_.cell(cell_text, technology)
+            words, plans = store_.stimulus_plan(cell.n_inputs, policy)
+            topology = store_.topology(cell, params)
+            phase_store = attach_store(topology, phase_cache)
             with worker_tracer.span("generate.golden", chunk=index):
                 golden_run = _GoldenRun(
                     cell, params, words, ports, delay_detection,
-                    batched=batched,
+                    topology=topology, batched=batched, plans=plans,
                 )
             detection, responses, counters = _simulate_defect_rows(
                 cell,
@@ -295,7 +379,10 @@ def _defect_chunk_worker(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
                 slow_factor,
                 keep_responses,
                 batched=batched,
+                packed=packed,
             )
+            if phase_store is not None:
+                phase_store.save(topology)
     # The duplicated golden pass is pool overhead, not simulation work the
     # serial flow would have paid; account it separately.
     counters["golden_solves"] = golden_run.solve_count
@@ -341,6 +428,8 @@ def _generate(
     progress: Optional[Callable[[int, int], None]],
     parallelism: Optional[int],
     batched: bool,
+    packed: bool = False,
+    phase_cache: PhaseCacheArg = None,
 ) -> Dict[str, CAModel]:
     """Shared generation core: one sweep, one CAModel per requested port."""
     started = time.perf_counter()
@@ -350,7 +439,7 @@ def _generate(
         if port not in cell.outputs:
             raise ValueError(f"{port!r} is not an output of {cell.name}")
     resolved = resolve_policy(cell.n_inputs, policy)
-    words = make_stimuli(cell.n_inputs, resolved)
+    words, plans = plan_store().stimulus_plan(cell.n_inputs, resolved)
     defects = list(universe) if universe is not None else default_universe(cell)
 
     # All cost accounting goes through the obs metrics registry; the stats
@@ -372,9 +461,12 @@ def _generate(
         # here as an exception from inside generation (no-op when no
         # plan is armed; see repro.resilience.faults).
         _faults.fire(_faults.SITE_SOLVER, cell=cell.name)
+        topology = plan_store().topology(cell, params)
+        phase_store = attach_store(topology, phase_cache)
         with tracer.span("generate.golden", cell=cell.name):
             golden_run = _GoldenRun(
-                cell, params, words, ports, delay_detection, batched=batched
+                cell, params, words, ports, delay_detection,
+                topology=topology, batched=batched, plans=plans,
             )
         golden_seconds = time.perf_counter() - started
         registry.inc(M_GOLDEN_SECONDS, golden_seconds)
@@ -397,6 +489,7 @@ def _generate(
                     keep_responses,
                     progress=progress,
                     batched=batched,
+                    packed=packed,
                 )
             defect_seconds = time.perf_counter() - defect_started
             workers = 1
@@ -419,6 +512,8 @@ def _generate(
                     keep_responses,
                     tracer.enabled,
                     batched,
+                    packed,
+                    str(phase_store.root) if phase_store is not None else None,
                 )
                 for i, (start, stop) in enumerate(bounds)
             ]
@@ -496,6 +591,11 @@ def _generate(
             registry.counter_delta(checkpoint), workers=workers
         )
 
+    if phase_store is not None:
+        # Persist what this run solved (pool workers saved their own
+        # chunk phases already; merge-on-save makes the writers converge).
+        phase_store.save(topology)
+
     # Every port's model carries a copy of the one shared run's stats:
     # the sweep ran once, so per-port cost attribution is not meaningful.
     return {
@@ -529,6 +629,8 @@ def generate_ca_model(
     progress: Optional[Callable[[int, int], None]] = None,
     parallelism: Optional[int] = None,
     batched: bool = True,
+    packed: bool = False,
+    phase_cache: PhaseCacheArg = None,
 ) -> CAModel:
     """Run the conventional generation flow for one cell.
 
@@ -562,6 +664,19 @@ def generate_ca_model(
         Solve stimulus sets through the vectorized batch kernel
         (byte-identical results; ``False`` forces the scalar reference
         path, mainly useful for differential testing and benchmarks).
+    packed:
+        Plan the whole defect slice up front and solve it through the
+        multi-topology packed kernel
+        (:func:`~repro.simulation.packed.solve_packed`) instead of one
+        batch call per defect.  Byte-identical results and cost
+        accounting; requires ``batched`` (ignored on the scalar path).
+    phase_cache:
+        Directory (or
+        :class:`~repro.simulation.phasecache.PhaseCacheStore`) persisting
+        solved phases across runs.  Warm entries are served through the
+        counter-neutral prefetch path, so results *and* stats stay
+        byte-identical to a cold run; the store is updated after the
+        sweep.
     """
     port = output or cell.outputs[0]
     models = _generate(
@@ -576,6 +691,8 @@ def generate_ca_model(
         progress,
         parallelism,
         batched,
+        packed,
+        phase_cache,
     )
     return models[port]
 
@@ -591,6 +708,8 @@ def generate_multi(
     progress: Optional[Callable[[int, int], None]] = None,
     parallelism: Optional[int] = None,
     batched: bool = True,
+    packed: bool = False,
+    phase_cache: PhaseCacheArg = None,
 ) -> Dict[str, CAModel]:
     """Characterize every output of a multi-output cell in one sweep.
 
@@ -613,6 +732,8 @@ def generate_multi(
         progress,
         parallelism,
         batched,
+        packed,
+        phase_cache,
     )
 
 

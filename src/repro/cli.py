@@ -82,6 +82,8 @@ def _cell_from_name(tech, cell_name: str):
 def cmd_generate(args) -> int:
     cells = _load_cells(args.netlist)
     batched = not getattr(args, "scalar", False)
+    packed = getattr(args, "packed", False)
+    phase_cache = getattr(args, "phase_cache", None)
     if args.processes and args.processes > 1:
         from repro.camodel import generate_library
 
@@ -91,6 +93,15 @@ def cmd_generate(args) -> int:
             processes=args.processes,
             parallelism=args.parallelism,
             batched=batched,
+            packed=packed,
+            phase_cache=phase_cache,
+        )
+        models = [by_name[cell.name] for cell in cells]
+    elif packed and batched and len(cells) > 1 and not args.parallelism:
+        from repro.camodel import run_throughput
+
+        by_name = run_throughput(
+            cells, policy=args.policy, phase_cache=phase_cache
         )
         models = [by_name[cell.name] for cell in cells]
     else:
@@ -100,6 +111,8 @@ def cmd_generate(args) -> int:
                 policy=args.policy,
                 parallelism=args.parallelism,
                 batched=batched,
+                packed=packed,
+                phase_cache=phase_cache,
             )
             for cell in cells
         ]
@@ -146,6 +159,8 @@ def cmd_batch(args) -> int:
             fault_plan=fault_plan,
             parallelism=args.parallelism,
             batched=not args.scalar,
+            packed=args.packed,
+            phase_cache=args.phase_cache,
             output=args.output,
         )
     except RunDirError as exc:
@@ -333,6 +348,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the scalar reference solver (disable the vectorized "
         "batch kernel; results are byte-identical either way)",
     )
+    p.add_argument(
+        "--packed",
+        action="store_true",
+        help="pack phase batches across cells/defects into multi-topology "
+        "kernel calls (byte-identical models, higher library throughput)",
+    )
+    p.add_argument(
+        "--phase-cache",
+        metavar="DIR",
+        default=None,
+        help="directory persisting solved phases across runs (warm runs "
+        "skip the solves; results and counters stay byte-identical)",
+    )
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser(
@@ -395,6 +423,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--scalar",
         action="store_true",
         help="force the scalar reference solver",
+    )
+    p.add_argument(
+        "--packed",
+        action="store_true",
+        help="solve each worker's defect slice through the packed "
+        "multi-topology kernel (byte-identical artifacts)",
+    )
+    p.add_argument(
+        "--phase-cache",
+        metavar="DIR",
+        default=None,
+        help="directory persisting solved phases across runs and retries "
+        "(identity-preserving; not part of the run fingerprint)",
     )
     p.set_defaults(func=cmd_batch)
 

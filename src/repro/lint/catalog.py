@@ -11,8 +11,10 @@ The sets are duplicated from the defining modules on purpose —
 and a syntax error in a linted module must not break the linter).
 ``tests/test_lint.py::test_catalog_matches_defining_modules`` guards
 the copy against rot: every ``M_*`` constant in
-:mod:`repro.camodel.stats` and :mod:`repro.resilience.runner` must
-appear in :data:`METRIC_NAMES`.
+:mod:`repro.camodel.stats`, :mod:`repro.resilience.runner`,
+:mod:`repro.simulation.engine`, :mod:`repro.simulation.phasecache`,
+:mod:`repro.camodel.planstore` and :mod:`repro.camodel.throughput`
+must appear in :data:`METRIC_NAMES`.
 
 To add a metric or event: define the name constant in the owning
 module, use it at the call site, and register it here (same PR).
@@ -27,7 +29,16 @@ from typing import FrozenSet
 #: dotted literal under an *unknown* first segment is flagged outright
 #: (a typo in the namespace itself, e.g. ``resilence.retries``).
 NAMESPACES: FrozenSet[str] = frozenset(
-    {"camodel", "resilience", "hybrid", "cache", "experiment", "stats"}
+    {
+        "camodel",
+        "resilience",
+        "hybrid",
+        "cache",
+        "experiment",
+        "stats",
+        "throughput",
+        "phasecache",
+    }
 )
 
 #: counters/gauges/histograms (see repro.camodel.stats / repro.resilience.runner)
@@ -52,6 +63,17 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "resilience.exceptions",
         "resilience.corrupt_artifacts",
         "resilience.quarantined",
+        # cross-cell packed throughput engine (repro.simulation.engine,
+        # repro.camodel.throughput, repro.camodel.planstore)
+        "throughput.packed_rows",
+        "throughput.flushes",
+        "throughput.cells",
+        "throughput.plan_reuse",
+        # on-disk phase-cache store (repro.simulation.phasecache)
+        "phasecache.hits",
+        "phasecache.misses",
+        "phasecache.loads",
+        "phasecache.stores",
     }
 )
 
@@ -75,6 +97,8 @@ EVENT_NAMES: FrozenSet[str] = frozenset(
         "resilience.retry",
         "resilience.quarantine",
         "resilience.artifact_invalid",
+        # on-disk phase-cache store
+        "phasecache.corrupt",
     }
 )
 

@@ -44,7 +44,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
-from repro.camodel.generate import DEFAULT_SLOW_FACTOR, generate_ca_model
+from repro.camodel.batch import ensure_unique_cell_names
+from repro.camodel.generate import (
+    DEFAULT_SLOW_FACTOR,
+    PhaseCacheArg,
+    generate_ca_model,
+)
 from repro.camodel.io import (
     FORMAT_VERSION,
     _write_json_atomic,
@@ -130,6 +135,10 @@ def _options_fingerprint(
         "slow_factor": slow_factor,
         "batched": batched,
         "parallelism": parallelism,
+        # packed / phase_cache are deliberately absent: both are
+        # identity-preserving solver knobs (models are byte-identical
+        # with or without them), so changing them must not invalidate
+        # existing artifacts or block a resume.
     }
 
 
@@ -166,7 +175,7 @@ def _cell_worker(payload: Dict[str, object]) -> None:
     error record.  The fault plan, when present, is armed for this
     (cell, attempt) before any work happens.
     """
-    from repro.spice.parser import parse_cell
+    from repro.camodel.planstore import plan_store
 
     name = payload["name"]
     plan = faults.plan_from_payload(payload["fault_plan"])
@@ -181,7 +190,9 @@ def _cell_worker(payload: Dict[str, object]) -> None:
             metrics=worker_metrics,
             events=obs.EventLog(obs.NullSink()),
         ):
-            cell = parse_cell(payload["cell_text"], technology=payload["technology"])
+            # Plan-once / replay-many: the store parses a cell text once
+            # per worker process, however many attempts replay it.
+            cell = plan_store().cell(payload["cell_text"], payload["technology"])
             model = generate_ca_model(
                 cell, policy=payload["policy"], **payload["kwargs"]
             )
@@ -278,6 +289,8 @@ def run_library(
     slow_factor: float = DEFAULT_SLOW_FACTOR,
     parallelism: Optional[int] = None,
     batched: bool = True,
+    packed: bool = False,
+    phase_cache: PhaseCacheArg = None,
     output: Optional[Union[str, Path]] = None,
 ) -> RunResult:
     """Characterize *cells* with checkpointing, retries, and quarantine.
@@ -304,13 +317,18 @@ def run_library(
         When given, the (possibly partial) library JSON is written there
         atomically from the checkpoint artifacts — byte-identical across
         resumed and uninterrupted runs.
+    packed / phase_cache:
+        Forwarded to :func:`~repro.camodel.generate.generate_ca_model`
+        in every worker.  Both are identity-preserving (and therefore
+        not part of the option fingerprint): ``packed`` routes solving
+        through the cross-topology packed kernel, ``phase_cache`` is a
+        directory persisting solved phases so retried attempts and
+        repeat runs skip already-solved work — with counters served
+        through the counter-neutral prefetch path, keeping artifacts
+        canonical.
     """
     names = [cell.name for cell in cells]
-    duplicates = sorted({n for n in names if names.count(n) > 1})
-    if duplicates:
-        raise ValueError(
-            f"duplicate cell names in library: {', '.join(duplicates)}"
-        )
+    ensure_unique_cell_names(names)
     options = _options_fingerprint(
         policy, params, universe, delay_detection, slow_factor, batched,
         parallelism,
@@ -332,6 +350,12 @@ def run_library(
         slow_factor=slow_factor,
         parallelism=parallelism,
         batched=batched,
+        packed=packed,
+        phase_cache=(
+            str(phase_cache)
+            if isinstance(phase_cache, (str, Path))
+            else phase_cache
+        ),
     )
     plan_payload = fault_plan.to_dict() if fault_plan is not None else None
 

@@ -35,12 +35,14 @@ import numpy as np
 from repro import obs
 from repro.library.technology import ElectricalParams
 from repro.logic.fourval import V4, final_phase, initial_phase, word_from_phases
+from repro.simulation.packed import PackedRequest, solve_packed
 from repro.simulation.solver import SolveResult, StaticSolver
 from repro.simulation.switchgraph import (
     CellTopology,
     DRIVER_RESISTANCE,
     DefectEffect,
     GOLDEN,
+    PhaseState,
     SwitchGraph,
 )
 from repro.spice.netlist import CellNetlist
@@ -48,6 +50,13 @@ from repro.spice.netlist import CellNetlist
 PhaseKey = Tuple[Tuple[int, ...], Optional[Tuple[int, ...]]]
 #: split form of one stimulus word: (initial vector, final vector, dynamic)
 WordPlan = Tuple[Tuple[int, ...], Tuple[int, ...], bool]
+
+# ----------------------------------------------------------------------
+# Metric names (repro.obs registry; registered in repro.lint.catalog)
+# ----------------------------------------------------------------------
+M_PACKED_ROWS = "throughput.packed_rows"
+M_PACKED_FLUSHES = "throughput.flushes"
+M_PHASECACHE_HITS = "phasecache.hits"
 
 
 class SimulationError(RuntimeError):
@@ -94,19 +103,36 @@ class CellSimulator:
             self.graph = topology.graph(effect)
             # Cross-defect sharing: signature-equal effects build identical
             # graphs, so their memoized phases are interchangeable.
-            memoryless, history, drive = topology.phase_caches(effect)
+            state = topology.phase_state(effect)
         else:
             self.graph = SwitchGraph(
                 cell, params=params, effect=effect,
                 driver_resistance=driver_resistance,
             )
-            memoryless, history, drive = {}, {}, {}
+            state = PhaseState()
         self.solver = StaticSolver(self.graph)
-        self._memoryless_cache: Dict[Tuple[int, ...], SolveResult] = memoryless
-        self._phase_cache: Dict[PhaseKey, List[int]] = history
+        self._memoryless_cache: Dict[Tuple[int, ...], SolveResult] = (
+            state.memoryless
+        )
+        self._phase_cache: Dict[PhaseKey, List[int]] = state.history
         # Batch-solved phases awaiting their first (counted) lookup.
-        self._staged_memoryless: Dict[Tuple[int, ...], SolveResult] = {}
-        self._staged_history: Dict[PhaseKey, List[int]] = {}
+        # Shared across signature-equal simulators (see PhaseState); the
+        # per-word assembly always drains them back to empty.
+        self._staged_memoryless: Dict[Tuple[int, ...], SolveResult] = (
+            state.staged_memoryless
+        )
+        self._staged_history: Dict[PhaseKey, List[int]] = state.staged_history
+        # Phases loaded from an on-disk store; popped exactly where the
+        # solver would have run, with the same counter increments.
+        self._prefetch_memoryless: Dict[Tuple[int, ...], SolveResult] = (
+            state.prefetch_memoryless
+        )
+        self._prefetch_history: Dict[PhaseKey, List[int]] = (
+            state.prefetch_history
+        )
+        self._prefetch_drive: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...], int], float
+        ] = state.prefetch_drive
         self._has_gate_open = bool(effect.gate_open)
         self._observable_nodes = [
             node
@@ -118,7 +144,7 @@ class CellSimulator:
         # solved code lists: ids of freed lists are recycled and alias.)
         self._drive_cache: Dict[
             Tuple[Tuple[int, ...], Tuple[int, ...], int], float
-        ] = drive
+        ] = state.drive
         #: number of phase solves actually performed (cost accounting)
         self.solve_count = 0
         #: memoized phase lookups served without a solve (cost accounting)
@@ -148,6 +174,8 @@ class CellSimulator:
         result = self._memoryless_cache.get(vector)
         if result is None:
             result = self._staged_memoryless.pop(vector, None)
+            if result is None:
+                result = self._prefetch_memoryless.pop(vector, None)
             if result is None:
                 result = self.solver.solve(vector, None)
             self.solve_count += 1
@@ -182,6 +210,8 @@ class CellSimulator:
             self.cache_hit_count += 1
             return cached
         codes = self._staged_history.pop(key, None)
+        if codes is None:
+            codes = self._prefetch_history.pop(key, None)
         if codes is None:
             codes = self.solver.solve(vector, prev_codes).codes
         self.solve_count += 1
@@ -247,23 +277,99 @@ class CellSimulator:
             ]
 
         # Stage 1: memoryless solve of every distinct phase vector.
+        need = self._plan_stage1(plans)
+        if need:
+            to_solve = self._take_prefetched_stage1(need)
+            with obs.tracer().span(
+                "solver.batch", phases=len(need), history=False
+            ):
+                solved = self.solver.solve_batch(to_solve)
+            self.batched_count += len(need)
+            self._staged_memoryless.update(zip(to_solve, solved))
+
+        # Stage 2: history-dependent phases the base solve cannot answer.
+        pending, prevs = self._plan_stage2(plans)
+        if pending:
+            to_solve2, prevs2 = self._take_prefetched_stage2(pending, prevs)
+            with obs.tracer().span(
+                "solver.batch", phases=len(pending), history=True
+            ):
+                solved = self.solver.solve_batch(
+                    [key[0] for key in to_solve2], prevs2
+                )
+            self.batched_count += len(pending)
+            for key, result in zip(to_solve2, solved):
+                self._staged_history[key] = result.codes
+
+        # Stage 3: per-word assembly against warm caches.
+        return [
+            self.solve_word(word, plan) for word, plan in zip(words, plans)
+        ]
+
+    # ------------------------------------------------------------------
+    # Batch planning, shared by solve_words and solve_words_across
+    # ------------------------------------------------------------------
+    def _plan_stage1(
+        self,
+        plans: Sequence[WordPlan],
+        planned: Optional[set] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Distinct memoryless vectors the caches cannot yet answer.
+
+        *planned* holds vectors a signature-sibling simulator already has
+        in flight within the same packed round; they are excluded exactly
+        as a sequential sweep would have found them memoized by the time
+        this simulator ran.
+        """
         need: List[Tuple[int, ...]] = []
         seen = set()
         for first, second, dynamic in plans:
             for vector in (first, second) if dynamic else (second,):
-                if vector in seen or vector in self._memoryless_cache:
+                if (
+                    vector in seen
+                    or vector in self._memoryless_cache
+                    or vector in self._staged_memoryless
+                    or (planned is not None and vector in planned)
+                ):
                     continue
                 seen.add(vector)
                 need.append(vector)
-        if need:
-            with obs.tracer().span(
-                "solver.batch", phases=len(need), history=False
-            ):
-                solved = self.solver.solve_batch(need)
-            self.batched_count += len(need)
-            self._staged_memoryless.update(zip(need, solved))
+        return need
 
-        # Stage 2: history-dependent phases the base solve cannot answer.
+    def _take_prefetched_stage1(
+        self, need: Sequence[Tuple[int, ...]]
+    ) -> List[Tuple[int, ...]]:
+        """Serve stage-1 vectors from the disk prefetch; return the rest.
+
+        Prefetched vectors move straight into the staged dict — the same
+        place a kernel solve would have put them — so per-word assembly
+        (and its counters) cannot tell a warm store from a cold solve.
+        """
+        if not self._prefetch_memoryless:
+            return list(need)
+        to_solve: List[Tuple[int, ...]] = []
+        hits = 0
+        for vector in need:
+            result = self._prefetch_memoryless.pop(vector, None)
+            if result is None:
+                to_solve.append(vector)
+            else:
+                self._staged_memoryless[vector] = result
+                hits += 1
+        if hits:
+            obs.metrics().inc(M_PHASECACHE_HITS, hits)
+        return to_solve
+
+    def _plan_stage2(
+        self,
+        plans: Sequence[WordPlan],
+        planned: Optional[set] = None,
+    ) -> Tuple[List[PhaseKey], List[List[int]]]:
+        """History-dependent phase keys the base solves cannot answer.
+
+        Requires every stage-1 vector of *plans* to be cached or staged
+        (the planner peeks at base results to read retention flags).
+        """
         pending: List[PhaseKey] = []
         prevs: List[List[int]] = []
         pending_seen = set()
@@ -283,26 +389,38 @@ class CellSimulator:
                 second,
                 tuple(prev_codes[n] for n in self._observable_nodes),
             )
-            if key in self._phase_cache or key in pending_seen:
+            if (
+                key in self._phase_cache
+                or key in self._staged_history
+                or key in pending_seen
+                or (planned is not None and key in planned)
+            ):
                 continue
             pending_seen.add(key)
             pending.append(key)
             prevs.append(prev_codes)
-        if pending:
-            with obs.tracer().span(
-                "solver.batch", phases=len(pending), history=True
-            ):
-                solved = self.solver.solve_batch(
-                    [key[0] for key in pending], prevs
-                )
-            self.batched_count += len(pending)
-            for key, result in zip(pending, solved):
-                self._staged_history[key] = result.codes
+        return pending, prevs
 
-        # Stage 3: per-word assembly against warm caches.
-        return [
-            self.solve_word(word, plan) for word, plan in zip(words, plans)
-        ]
+    def _take_prefetched_stage2(
+        self, pending: Sequence[PhaseKey], prevs: Sequence[List[int]]
+    ) -> Tuple[List[PhaseKey], List[List[int]]]:
+        """Serve stage-2 keys from the disk prefetch; return the rest."""
+        if not self._prefetch_history:
+            return list(pending), list(prevs)
+        to_solve: List[PhaseKey] = []
+        kept_prevs: List[List[int]] = []
+        hits = 0
+        for key, prev_codes in zip(pending, prevs):
+            codes = self._prefetch_history.pop(key, None)
+            if codes is None:
+                to_solve.append(key)
+                kept_prevs.append(prev_codes)
+            else:
+                self._staged_history[key] = codes
+                hits += 1
+        if hits:
+            obs.metrics().inc(M_PHASECACHE_HITS, hits)
+        return to_solve, kept_prevs
 
     def output_response(self, word: Sequence[V4], output: Optional[str] = None) -> V4:
         """Four-valued response on a cell output (first output default)."""
@@ -376,8 +494,10 @@ class CellSimulator:
         if cached is not None:
             self.cache_hit_count += 1
             return cached
-        rail = self.graph.power if level == 1 else self.graph.ground
-        resistance = self._effective_resistance(out, rail, codes1, codes2)
+        resistance = self._prefetch_drive.pop(cache_key, None)
+        if resistance is None:
+            rail = self.graph.power if level == 1 else self.graph.ground
+            resistance = self._effective_resistance(out, rail, codes1, codes2)
         self._drive_cache[cache_key] = resistance
         return resistance
 
@@ -443,6 +563,157 @@ class CellSimulator:
         except np.linalg.LinAlgError:  # pragma: no cover - degenerate
             return float("inf")
         return float(voltages[pos[node_a]])
+
+
+#: one cross-simulator work item: (simulator, words, per-word plans)
+AcrossTask = Tuple[
+    "CellSimulator", Sequence[Sequence[V4]], Optional[Sequence[WordPlan]]
+]
+
+
+def solve_words_across(
+    tasks: Sequence[AcrossTask],
+    max_rows: int = 4096,
+    assemble: bool = True,
+) -> List[List[Tuple[List[int], List[int]]]]:
+    """Solve many simulators' stimulus sets through one packed kernel.
+
+    The cross-cell analogue of :meth:`CellSimulator.solve_words`: instead
+    of one :meth:`~repro.simulation.solver.StaticSolver.solve_batch` call
+    per (cell, defect), the missing phases of *every* task are packed
+    into a handful of multi-topology
+    :func:`~repro.simulation.packed.solve_packed` flushes (windowed at
+    *max_rows* rows), which is where the throughput win at library scale
+    comes from — the per-call NumPy overhead stops scaling with the
+    number of defects.
+
+    Element ``[i][j]`` equals ``tasks[i]`` solving its word ``j`` through
+    the ordinary sequential path, **including the cost accounting**:
+    planning excludes phases a signature-equal sibling earlier in the
+    task list already has in flight (exactly the phases a sequential
+    sweep would have found memoized), and per-word assembly runs in task
+    order against the shared staged dicts, so every task's solve /
+    cache-hit / batched counters match a per-task ``solve_words`` sweep.
+    Tasks with ``batched=False`` simulators skip planning and assemble
+    through the scalar path; mixing them *before* batched signature
+    siblings voids the counter-identity (the generation flow never does).
+
+    With ``assemble=False`` the call stops after the packed flushes and
+    returns ``[]``: every planned phase sits in the simulators' staged
+    dicts, and a later per-task :meth:`CellSimulator.solve_words` (in
+    task order) finds nothing left to plan and only assembles — the
+    generation flow uses this to keep its per-defect loop untouched
+    while the solving itself is packed across cells.
+    """
+    normalized: List[
+        Tuple[CellSimulator, Sequence[Sequence[V4]], Sequence[WordPlan]]
+    ] = []
+    for sim, words, plans in tasks:
+        if plans is None:
+            plans = [sim._split_word(word) for word in words]
+        normalized.append((sim, words, plans))
+    if not normalized:
+        return []
+
+    pending_reqs: List[
+        Tuple[CellSimulator, List[Tuple[int, ...]], Optional[List[List[int]]]]
+    ] = []
+    pending_sinks: List = []
+    pending_rows = 0
+
+    def flush() -> None:
+        nonlocal pending_reqs, pending_sinks, pending_rows
+        if not pending_reqs:
+            return
+        with obs.tracer().span(
+            "solver.packed",
+            rows=pending_rows,
+            requests=len(pending_reqs),
+        ):
+            results = solve_packed(
+                [
+                    PackedRequest(sim.solver, vectors, prevs)
+                    for sim, vectors, prevs in pending_reqs
+                ]
+            )
+        obs.metrics().inc(M_PACKED_ROWS, pending_rows)
+        obs.metrics().inc(M_PACKED_FLUSHES)
+        for sink, result in zip(pending_sinks, results):
+            sink(result)
+        pending_reqs = []
+        pending_sinks = []
+        pending_rows = 0
+
+    def enqueue(sim, vectors, prevs, sink) -> None:
+        nonlocal pending_rows
+        pending_reqs.append((sim, vectors, prevs))
+        pending_sinks.append(sink)
+        pending_rows += len(vectors)
+        if pending_rows >= max_rows:
+            flush()
+
+    def stage1_sink(sim, vectors):
+        def deliver(results) -> None:
+            sim._staged_memoryless.update(zip(vectors, results))
+
+        return deliver
+
+    def stage2_sink(sim, keys):
+        def deliver(results) -> None:
+            for key, result in zip(keys, results):
+                sim._staged_history[key] = result.codes
+
+        return deliver
+
+    # Stage 1 planning: every task's missing memoryless vectors, with
+    # per-group (shared staged dict == shared signature) in-flight sets.
+    group_planned: Dict[int, set] = {}
+    for sim, _words, plans in normalized:
+        if not sim.batched:
+            continue
+        planned = group_planned.setdefault(id(sim._staged_memoryless), set())
+        need = sim._plan_stage1(plans, planned)
+        if not need:
+            continue
+        to_solve = sim._take_prefetched_stage1(need)
+        sim.batched_count += len(need)
+        if to_solve:
+            planned.update(to_solve)
+            enqueue(sim, to_solve, None, stage1_sink(sim, to_solve))
+    flush()
+
+    # Stage 2 planning: history-dependent survivors (needs the stage-1
+    # results, hence the barrier flush above).
+    group_planned = {}
+    for sim, _words, plans in normalized:
+        if not sim.batched:
+            continue
+        planned = group_planned.setdefault(id(sim._staged_history), set())
+        pending, prevs = sim._plan_stage2(plans, planned)
+        if not pending:
+            continue
+        to_solve2, prevs2 = sim._take_prefetched_stage2(pending, prevs)
+        sim.batched_count += len(pending)
+        if to_solve2:
+            planned.update(to_solve2)
+            enqueue(
+                sim,
+                [key[0] for key in to_solve2],
+                prevs2,
+                stage2_sink(sim, to_solve2),
+            )
+    flush()
+
+    if not assemble:
+        return []
+
+    # Assembly in task order: sequential order within every signature
+    # group, so staged pops and cache hits land on the same simulators
+    # as a per-task sweep.
+    return [
+        [sim.solve_word(word, plan) for word, plan in zip(words, plans)]
+        for sim, words, plans in normalized
+    ]
 
 
 def golden_simulator(

@@ -1,0 +1,444 @@
+"""Cross-topology packed solving: many cells/defects, one NumPy kernel call.
+
+:meth:`~repro.simulation.solver.StaticSolver.solve_batch` vectorizes the
+phases of **one** (cell, defect) switch graph.  At library scale that
+still means hundreds of small kernel calls — one or two per defect — and
+on small cells the fixed per-call NumPy overhead dominates the actual
+arithmetic.  :func:`solve_packed` removes that wall: it takes phase
+batches from **many** solvers (different defects of one cell, different
+cells entirely) and runs them through a single padded kernel.
+
+Mechanics
+---------
+Every distinct solver becomes one *topology slot*: its index arrays
+(device gates, neighbour tables, fixed nodes, …) are padded to the
+maximum node/device/degree count across the pack and stacked along a
+leading slot axis.  Every requested phase becomes one *row* carrying the
+slot index of its topology; per-step gathers (``stacked[topo_idx]``)
+give each row its own graph.  Rows then iterate exactly like
+``solve_batch``: per-row convergence dropout, Bryant off/on envelopes as
+two sub-resolves, min-label propagation for connected components, and a
+scalar exact-Laplacian fallback for the rare contended components.
+
+Padding is inert by construction:
+
+* one extra **scrap node** (shared column ``N-1``) absorbs the padded
+  slots of source/seed scatter tables; it is isolated, unobservable, and
+  pinned to ``X`` after initialization, so it can never delay a row's
+  convergence;
+* padded **device** columns read their gate from the row's ground rail
+  and map ``0`` to OFF, so they never conduct and never go unknown;
+* padded **fixed-node** columns alias the ground rail with value 0, so
+  they re-assert a boundary fact that is already true.
+
+Identity guarantee
+------------------
+``solve_packed(requests)[i][j]`` equals
+``requests[i].solver.solve(requests[i].vectors[j], ...)`` exactly —
+codes and retention flag — for the same reason ``solve_batch`` does: all
+logic-level work is integer, per-row iteration counts match the scalar
+path, and contention (the only float arithmetic) is delegated to the
+same scalar :meth:`~repro.simulation.solver.StaticSolver._solve_contention`.
+The per-solver resolve-row memo (``_resolve_cache``) is keyed on the
+*trimmed* (conduction mask, source values) pair, byte-compatible with
+the keys ``solve_batch`` writes, so packed and per-cell calls share one
+cache.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.solver import (
+    CONTENDED,
+    FLOAT,
+    MAX_ITERATIONS,
+    OFF,
+    ON,
+    UNKNOWN,
+    SolveResult,
+    StaticSolver,
+    X,
+)
+
+
+class PackedRequest(NamedTuple):
+    """One solver's share of a packed kernel call."""
+
+    solver: StaticSolver
+    vectors: Sequence[Tuple[int, ...]]
+    prevs: Optional[Sequence[Optional[Sequence[int]]]] = None
+
+
+class _PackedTopo:
+    """Stacked, padded per-solver index arrays (one slot per solver).
+
+    Shapes: ``S`` solvers, ``N`` node columns (max nodes + 1 scrap),
+    ``D`` device columns, ``E = D + max_static + 1`` edge slots (device
+    channels, then static edges, then one never-active padding edge).
+    """
+
+    def __init__(self, solvers: Sequence[StaticSolver]):
+        bas = [s._batch_arrays() for s in solvers]
+        graphs = [s.graph for s in solvers]
+        self.solvers = list(solvers)
+        S = len(solvers)
+        self.n_nodes = np.array([g.n_nodes for g in graphs], dtype=np.intp)
+        self.n_devices = np.array([ba.n_devices for ba in bas], dtype=np.intp)
+        self.n_inputs = np.array(
+            [len(g.source_nodes) for g in graphs], dtype=np.intp
+        )
+        N = int(self.n_nodes.max()) + 1  # + scrap column
+        D = int(self.n_devices.max()) if S else 0
+        max_static = max(ba.n_static for ba in bas)
+        max_deg = max(ba.slot_node.shape[1] for ba in bas)
+        max_in = int(self.n_inputs.max())
+        max_fixed = 2 + max_in
+        max_seed = max(ba.seed_pins.size for ba in bas)
+        self.N, self.D = N, D
+        self.E = D + max_static + 1
+        self.scrap = N - 1
+
+        self.power = np.array([g.power for g in graphs], dtype=np.intp)
+        self.ground = np.array([g.ground for g in graphs], dtype=np.intp)
+
+        # Devices: padded columns gate on the ground rail (always 0) and
+        # map 0 -> OFF, so they never conduct and never go unknown.
+        self.dev_gate = np.empty((S, D), dtype=np.intp)
+        self.on_if_1 = np.full((S, D), OFF, dtype=np.int16)
+        self.on_if_0 = np.full((S, D), OFF, dtype=np.int16)
+        self.is_open = np.zeros((S, D), dtype=bool)
+        self.observable = np.zeros((S, N), dtype=bool)
+        self.src_nodes = np.full((S, max_in), self.scrap, dtype=np.intp)
+        self.fixed_nodes = np.empty((S, max_fixed), dtype=np.intp)
+        self.seed_pins = np.full((S, max_seed), self.scrap, dtype=np.intp)
+        self.seed_srcs = np.full((S, max_seed), self.scrap, dtype=np.intp)
+        self.static_active = np.zeros((S, max_static), dtype=bool)
+        self.slot_node = np.empty((S, N, max_deg), dtype=np.intp)
+        self.slot_edge = np.full((S, N, max_deg), self.E - 1, dtype=np.intp)
+        self.any_open = np.zeros(S, dtype=bool)
+
+        for s, (ba, graph) in enumerate(zip(bas, graphs)):
+            d = ba.n_devices
+            self.dev_gate[s, :d] = ba.dev_gate
+            self.dev_gate[s, d:] = graph.ground
+            self.on_if_1[s, :d] = ba.on_if_1
+            self.on_if_0[s, :d] = ba.on_if_0
+            self.is_open[s, ba.open_cols] = True
+            self.any_open[s] = bool(ba.open_cols.size)
+            self.observable[s, : ba.observable.size] = ba.observable
+            self.src_nodes[s, : ba.source_nodes.size] = ba.source_nodes
+            self.fixed_nodes[s] = graph.ground  # padding re-asserts ground=0
+            self.fixed_nodes[s, : ba.fixed_nodes.size] = ba.fixed_nodes
+            self.seed_pins[s, : ba.seed_pins.size] = ba.seed_pins
+            self.seed_srcs[s, : ba.seed_srcs.size] = ba.seed_srcs
+            self.static_active[s, : ba.n_static] = True
+            # Remap this solver's edge indices into the packed edge space:
+            # devices keep their column, static edge j -> D + j, and the
+            # solver's own padding edge (index d + n_static) -> E - 1.
+            n = graph.n_nodes
+            node_tab = np.broadcast_to(
+                np.arange(N)[:, None], (N, max_deg)
+            ).copy()
+            edge_tab = np.full((N, max_deg), self.E - 1, dtype=np.intp)
+            deg = ba.slot_node.shape[1]
+            src_edges = ba.slot_edge
+            remapped = np.where(
+                src_edges < d,
+                src_edges,
+                np.where(
+                    src_edges < d + ba.n_static,
+                    src_edges - d + D,
+                    self.E - 1,
+                ),
+            )
+            edge_tab[:n, :deg] = remapped
+            node_tab[:n, :deg] = ba.slot_node
+            # A solver's padding slots point the node back at itself; keep
+            # that (node_tab already holds slot_node verbatim).
+            self.slot_node[s] = node_tab
+            self.slot_edge[s] = edge_tab
+
+
+def _resolve_packed_rows(
+    pk: _PackedTopo,
+    conducting: np.ndarray,
+    src_vals: np.ndarray,
+    topo_idx: np.ndarray,
+) -> np.ndarray:
+    """Vectorized resolve of one unknown-extreme across topologies."""
+    batch = conducting.shape[0]
+    N = pk.N
+    rows = np.arange(batch)
+    edge_active = np.concatenate(
+        [
+            conducting,
+            pk.static_active[topo_idx],
+            np.zeros((batch, 1), dtype=bool),
+        ],
+        axis=1,
+    )
+    slot_edge = pk.slot_edge[topo_idx]  # batch x N x deg
+    slot_node = pk.slot_node[topo_idx]
+    act_slots = edge_active[rows[:, None, None], slot_edge]
+    labels = np.broadcast_to(np.arange(N), (batch, N)).copy()
+    while True:
+        neighbour = labels[rows[:, None, None], slot_node]
+        neighbour = np.where(act_slots, neighbour, N)
+        new = np.minimum(labels, neighbour.min(axis=2))
+        new = np.take_along_axis(new, new, axis=1)  # pointer jumping
+        if np.array_equal(new, labels):
+            break
+        labels = new
+
+    fnodes = pk.fixed_nodes[topo_idx]  # batch x max_fixed
+    max_fixed = fnodes.shape[1]
+    fixed_vals = np.zeros((batch, max_fixed), dtype=np.int16)
+    fixed_vals[:, 0] = 1  # power rail
+    fixed_vals[:, 2:] = src_vals  # padded sources carry 0 (alias ground)
+    has1 = np.zeros((batch, N), dtype=bool)
+    has0 = np.zeros((batch, N), dtype=bool)
+    for j in range(max_fixed):
+        root = labels[rows, fnodes[:, j]]
+        has1[rows, root] |= fixed_vals[:, j] == 1
+        has0[rows, root] |= fixed_vals[:, j] == 0
+    root1 = np.take_along_axis(has1, labels, axis=1)
+    root0 = np.take_along_axis(has0, labels, axis=1)
+    result = np.where(
+        root1 & root0,
+        CONTENDED,
+        np.where(root1, 1, np.where(root0, 0, FLOAT)),
+    ).astype(np.int16)
+
+    contended_rows = np.where((result == CONTENDED).any(axis=1))[0]
+    for b in contended_rows:
+        solver = pk.solvers[int(topo_idx[b])]
+        graph = solver.graph
+        fixed = {graph.power: 1, graph.ground: 0}
+        for i, node in enumerate(graph.source_nodes):
+            fixed[node] = int(src_vals[b, i])
+        d = len(graph.devices)
+        conducting_devs = [
+            graph.devices[k] for k in np.where(conducting[b, :d])[0]
+        ]
+        row = result[b]
+        for root in np.unique(labels[b][row == CONTENDED]):
+            nodes = np.where(labels[b] == root)[0].tolist()
+            solver._solve_contention(nodes, conducting_devs, fixed, row)
+    return result
+
+
+def _resolve_packed(
+    pk: _PackedTopo,
+    conducting: np.ndarray,
+    src_vals: np.ndarray,
+    topo_idx: np.ndarray,
+) -> np.ndarray:
+    """Memoizing wrapper over :func:`_resolve_packed_rows`.
+
+    Keys are byte-compatible with
+    :meth:`~repro.simulation.solver.StaticSolver._batch_resolve` (the
+    *trimmed* conduction mask and source values), so packed flushes warm
+    the same per-solver cache the per-cell kernel reads.
+    """
+    batch = conducting.shape[0]
+    result = np.full((batch, pk.N), FLOAT, dtype=np.int16)
+    misses: List[int] = []
+    keys: List[Optional[bytes]] = [None] * batch
+    for b in range(batch):
+        t = int(topo_idx[b])
+        solver = pk.solvers[t]
+        d = int(pk.n_devices[t])
+        m = int(pk.n_inputs[t])
+        key = (
+            conducting[b, :d].astype(np.uint8).tobytes()
+            + src_vals[b, :m].astype(np.uint8).tobytes()
+        )
+        cached = solver._resolve_cache.get(key)
+        if cached is not None:
+            result[b, : cached.size] = cached
+        else:
+            keys[b] = key
+            misses.append(b)
+    if misses:
+        rows = np.array(misses, dtype=np.intp)
+        solved = _resolve_packed_rows(
+            pk, conducting[rows], src_vals[rows], topo_idx[rows]
+        )
+        result[rows] = solved
+        for k, b in enumerate(misses):
+            t = int(topo_idx[b])
+            n = int(pk.n_nodes[t])
+            pk.solvers[t]._resolve_cache[keys[b]] = solved[k, :n].copy()
+    return result
+
+
+def _step_packed(
+    pk: _PackedTopo,
+    codes: np.ndarray,
+    prev: np.ndarray,
+    has_prev: np.ndarray,
+    src_vals: np.ndarray,
+    topo_idx: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One packed fixpoint step (mirrors ``StaticSolver._batch_step``)."""
+    batch = codes.shape[0]
+    rows = np.arange(batch)
+    if pk.D:
+        dev_gate = pk.dev_gate[topo_idx]  # batch x D
+        gate_vals = codes[rows[:, None], dev_gate]
+        is_open = pk.is_open[topo_idx]
+        if pk.any_open.any():
+            gate_vals = np.where(
+                is_open, prev[rows[:, None], dev_gate], gate_vals
+            )
+        conduction = np.where(
+            gate_vals == 1,
+            pk.on_if_1[topo_idx],
+            np.where(gate_vals == 0, pk.on_if_0[topo_idx], UNKNOWN),
+        )
+        if pk.any_open.any() and not has_prev.all():
+            # A gate-open device with no history is non-conducting.
+            conduction = np.where(
+                is_open & ~has_prev[:, None], OFF, conduction
+            )
+    else:  # pragma: no cover - degenerate (no devices anywhere)
+        conduction = np.zeros((batch, 0), dtype=np.int16)
+
+    res_off = _resolve_packed(pk, conduction == ON, src_vals, topo_idx)
+    unknown_rows = (conduction == UNKNOWN).any(axis=1)
+    if unknown_rows.any():
+        res_on = res_off.copy()
+        sub = np.where(unknown_rows)[0]
+        act_on = conduction[sub] != OFF
+        res_on[sub] = _resolve_packed(
+            pk, act_on, src_vals[sub], topo_idx[sub]
+        )
+    else:
+        res_on = res_off
+
+    retained = np.where((prev == 0) | (prev == 1), prev, X)
+    float_off = res_off == FLOAT
+    float_on = res_on == FLOAT
+    agree = res_off == res_on
+    one_float = float_off ^ float_on
+    driven = np.where(float_off, res_on, res_off)
+    combined = np.where(
+        agree,
+        np.where(float_off, retained, res_off),
+        np.where(one_float, np.where(driven == retained, driven, X), X),
+    ).astype(np.int16, copy=False)
+    observable = pk.observable[topo_idx]
+    retention = ((float_off | float_on) & observable).any(axis=1)
+    return combined, retention
+
+
+def solve_packed(
+    requests: Sequence[PackedRequest],
+) -> List[List[SolveResult]]:
+    """Solve every request's phases in one padded multi-topology kernel.
+
+    Element ``[i][j]`` equals
+    ``requests[i].solver.solve(requests[i].vectors[j], prevs[j])``
+    exactly (codes and retention flag).  Solvers may repeat across
+    requests; each distinct solver occupies one topology slot.
+    """
+    requests = [r for r in requests if len(r.vectors)]
+    if not requests:
+        return []
+    solvers: List[StaticSolver] = []
+    slot_of = {}
+    for req in requests:
+        if id(req.solver) not in slot_of:
+            slot_of[id(req.solver)] = len(solvers)
+            solvers.append(req.solver)
+    pk = _PackedTopo(solvers)
+    N = pk.N
+
+    counts = [len(r.vectors) for r in requests]
+    batch = sum(counts)
+    topo_idx = np.empty(batch, dtype=np.intp)
+    max_in = pk.src_nodes.shape[1]
+    src_vals = np.zeros((batch, max_in), dtype=np.int16)
+    prev = np.full((batch, N), X, dtype=np.int16)
+    has_prev = np.zeros(batch, dtype=bool)
+    offset = 0
+    for req in requests:
+        t = slot_of[id(req.solver)]
+        graph = req.solver.graph
+        n_in = len(graph.source_nodes)
+        vals = np.asarray(req.vectors, dtype=np.int16)
+        if vals.ndim != 2 or vals.shape[1] != n_in:
+            raise ValueError(
+                f"expected {n_in} input values per vector for "
+                f"{graph.cell.name}"
+            )
+        stop = offset + len(req.vectors)
+        topo_idx[offset:stop] = t
+        src_vals[offset:stop, :n_in] = vals
+        if req.prevs is not None:
+            for i, p in enumerate(req.prevs):
+                if p is not None:
+                    prev[offset + i, : len(p)] = np.asarray(p, dtype=np.int16)
+                    has_prev[offset + i] = True
+        offset = stop
+
+    rows = np.arange(batch)
+    codes = np.full((batch, N), X, dtype=np.int16)
+    codes[rows, pk.power[topo_idx]] = 1
+    codes[rows, pk.ground[topo_idx]] = 0
+    codes[rows[:, None], pk.src_nodes[topo_idx]] = src_vals
+    if pk.seed_pins.shape[1]:
+        seed_pins = pk.seed_pins[topo_idx]
+        seed_srcs = pk.seed_srcs[topo_idx]
+        codes[rows[:, None], seed_pins] = codes[rows[:, None], seed_srcs]
+    # The scrap column absorbed every padded scatter slot; pin it back to
+    # X so it can never perturb a row's convergence count.
+    codes[:, pk.scrap] = X
+
+    flat: List[Optional[SolveResult]] = [None] * batch
+    n_of_row = pk.n_nodes[topo_idx]
+    active = rows.copy()
+    for _ in range(MAX_ITERATIONS):
+        new_codes, retention = _step_packed(
+            pk,
+            codes[active],
+            prev[active],
+            has_prev[active],
+            src_vals[active],
+            topo_idx[active],
+        )
+        converged = (new_codes == codes[active]).all(axis=1)
+        for k in np.where(converged)[0]:
+            g = int(active[k])
+            flat[g] = SolveResult(
+                new_codes[k, : n_of_row[g]].tolist(), bool(retention[k])
+            )
+        codes[active] = new_codes
+        active = active[~converged]
+        if active.size == 0:
+            break
+    if active.size:
+        # Non-convergence (defect-induced feedback): one more step,
+        # anything still changing is unknown — mirrors the scalar path.
+        final, _ = _step_packed(
+            pk,
+            codes[active],
+            prev[active],
+            has_prev[active],
+            src_vals[active],
+            topo_idx[active],
+        )
+        merged = np.where(codes[active] == final, codes[active], X)
+        for k, g in enumerate(active):
+            g = int(g)
+            flat[g] = SolveResult(merged[k, : n_of_row[g]].tolist(), True)
+
+    out: List[List[SolveResult]] = []
+    offset = 0
+    for count in counts:
+        out.append(flat[offset : offset + count])  # type: ignore[arg-type]
+        offset += count
+    return out

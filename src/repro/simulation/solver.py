@@ -464,6 +464,13 @@ class StaticSolver:
         values); the fixpoint and the Bryant envelopes revisit the same
         pair constantly, so rows are served from ``_resolve_cache`` and
         only the distinct misses go through the vectorized computation.
+
+        The key layout — uint8 conduction mask (untrimmed device count)
+        then uint8 source values — is a contract shared with the
+        multi-topology kernel: ``simulation.packed._resolve_packed``
+        trims its padded rows back to this exact byte sequence so packed
+        and per-cell calls read and warm one cache.  Changing the layout
+        here requires the same change there.
         """
         batch = conducting.shape[0]
         n = self.graph.n_nodes

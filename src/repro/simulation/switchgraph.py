@@ -52,6 +52,50 @@ class DefectEffect:
 GOLDEN = DefectEffect()
 
 
+class PhaseState:
+    """Shared solving state for one effect signature of one topology.
+
+    Every :class:`~repro.simulation.engine.CellSimulator` built on the
+    same topology with a signature-equal effect binds the *same* state
+    object, which is what makes phase work flow across defects:
+
+    * ``memoryless`` / ``history`` / ``drive`` — the settled memoization
+      caches (PR 3's cross-defect sharing);
+    * ``staged_memoryless`` / ``staged_history`` — batch-solved phases
+      awaiting their first *counted* lookup.  Shared so the cross-cell
+      packed planner can see what a signature-sibling already has in
+      flight; always drained back to empty by per-word assembly, so
+      sharing them is invisible to the sequential flow;
+    * ``prefetch_*`` — phases loaded from an on-disk
+      :class:`~repro.simulation.phasecache.PhaseCacheStore`.  Entries
+      are *popped* into the ordinary flow at the point the solver would
+      have been called, with the same counter increments, so a
+      warm-store run stays byte-identical (results **and** cost
+      accounting) to a cold one.
+    """
+
+    __slots__ = (
+        "memoryless",
+        "history",
+        "drive",
+        "staged_memoryless",
+        "staged_history",
+        "prefetch_memoryless",
+        "prefetch_history",
+        "prefetch_drive",
+    )
+
+    def __init__(self) -> None:
+        self.memoryless: dict = {}
+        self.history: dict = {}
+        self.drive: dict = {}
+        self.staged_memoryless: dict = {}
+        self.staged_history: dict = {}
+        self.prefetch_memoryless: dict = {}
+        self.prefetch_history: dict = {}
+        self.prefetch_drive: dict = {}
+
+
 @dataclass
 class DeviceRec:
     """Solver-facing device record (net ids instead of names)."""
@@ -125,8 +169,10 @@ class CellTopology:
         self._device_names: FrozenSet[str] = frozenset(
             t.name for t in cell.transistors
         )
-        #: effect signature -> (memoryless, history, drive) cache dicts
-        self._phase_caches: Dict[tuple, Tuple[dict, dict, dict]] = {}
+        #: effect signature -> shared :class:`PhaseState`
+        self._phase_states: Dict[tuple, PhaseState] = {}
+        #: optional on-disk phase-cache store (see :meth:`attach_phase_store`)
+        self._phase_store = None
 
     def effect_signature(self, effect: DefectEffect) -> tuple:
         """Canonical key of the switch graph *effect* builds.
@@ -146,19 +192,50 @@ class CellTopology:
         )
         return (removed, gate_open, bridges)
 
+    def phase_state(self, effect: DefectEffect) -> PhaseState:
+        """Shared :class:`PhaseState` for *effect*'s signature.
+
+        Every simulator built on this topology with a signature-equal
+        effect gets the same state, so phases solved under one defect are
+        served as cache hits to the next.  When a store is attached (see
+        :meth:`attach_phase_store`), first access of a signature loads
+        its persisted phases into the prefetch dicts.
+        """
+        signature = self.effect_signature(effect)
+        state = self._phase_states.get(signature)
+        if state is None:
+            state = PhaseState()
+            self._phase_states[signature] = state
+            if self._phase_store is not None:
+                self._phase_store.load_into(self, signature, state)
+        return state
+
     def phase_caches(self, effect: DefectEffect) -> Tuple[dict, dict, dict]:
         """Shared (memoryless, history, drive) caches for *effect*.
 
-        Every simulator built on this topology with a signature-equal
-        effect gets the same dicts, so phases solved under one defect are
-        served as cache hits to the next.
+        Compatibility view over :meth:`phase_state`.
         """
-        signature = self.effect_signature(effect)
-        caches = self._phase_caches.get(signature)
-        if caches is None:
-            caches = ({}, {}, {})
-            self._phase_caches[signature] = caches
-        return caches
+        state = self.phase_state(effect)
+        return (state.memoryless, state.history, state.drive)
+
+    def attach_phase_store(self, store) -> None:
+        """Back this topology's phase states with an on-disk store.
+
+        *store* is a :class:`~repro.simulation.phasecache.PhaseCacheStore`
+        (duck-typed: ``load_into(topology, signature, state)`` and
+        ``save(topology)``).  Attach before the first
+        :meth:`phase_state` call of the signatures it should warm.
+        """
+        self._phase_store = store
+
+    def detach_phase_state(self) -> None:
+        """Drop all shared phase state and any attached store.
+
+        Used by plan replay: a checked-out topology must solve from
+        scratch so its counters match a freshly built one.
+        """
+        self._phase_states = {}
+        self._phase_store = None
 
     def _ron(self, t: Transistor) -> float:
         rsq = self.params.rsq_nmos if t.is_nmos else self.params.rsq_pmos

@@ -121,6 +121,100 @@ class TestModelDifferential:
             self._compare(scalar[port], batched[port])
 
 
+class TestPackedDifferential:
+    """Cross-cell packed kernel vs the per-cell batched / scalar paths.
+
+    `solve_packed` pads many topologies into one kernel call; like
+    `solve_batch` it is an optimization with a byte-identity contract —
+    same codes, same retention flags, same counter sequences, and models
+    that round-trip identically through the canonical form.
+    """
+
+    FUNCTIONS = ("INV", "NAND2", "NOR3", "XOR2", "MUX2")
+
+    def test_solve_packed_mixed_topologies(self):
+        """One padded call over several cells + defect variants must equal
+        per-request scalar solves exactly (codes and retention)."""
+        from itertools import product
+
+        from repro.simulation import GOLDEN, PackedRequest, solve_packed
+
+        requests = []
+        for function in self.FUNCTIONS:
+            cell = build_cell(SOI28, function, 1)
+            effects = [GOLDEN]
+            for defect in default_universe(cell)[:2]:
+                effects.append(defect.effect(cell, PARAMS.short_resistance))
+            for effect in effects:
+                sim = CellSimulator(cell, params=PARAMS, effect=effect)
+                vectors = list(product((0, 1), repeat=cell.n_inputs))
+                requests.append(PackedRequest(sim.solver, vectors))
+        packed = solve_packed(requests)
+        assert len(packed) == len(requests)
+        for request, results in zip(requests, packed):
+            for vector, result in zip(request.vectors, results):
+                reference = request.solver.solve(vector, None)
+                assert result.codes == reference.codes
+                assert result.retention_used == reference.retention_used
+
+    def _canonical(self, model):
+        from repro.resilience.runner import canonical_model_dict
+
+        return canonical_model_dict(model)
+
+    @pytest.mark.parametrize("function", ["NAND2", "XOR2"])
+    def test_generate_packed_canonical_identity(self, function):
+        """packed=True must be invisible in the canonical model — answers
+        AND cost counters (solves, cache hits, batched phases)."""
+        cell = build_cell(SOI28, function, 1)
+        batched = generate_ca_model(
+            cell, params=PARAMS, keep_responses=True, batched=True
+        )
+        packed = generate_ca_model(
+            cell, params=PARAMS, keep_responses=True, batched=True, packed=True
+        )
+        assert self._canonical(packed) == self._canonical(batched)
+
+    def test_run_throughput_matches_per_cell_reference(self):
+        """The cross-cell engine must reproduce per-cell generation
+        canonically for a whole multi-cell library."""
+        from repro.camodel import run_throughput
+
+        cells = [build_cell(SOI28, fn, 1) for fn in self.FUNCTIONS]
+        reference = {
+            cell.name: generate_ca_model(cell, params=PARAMS, batched=True)
+            for cell in cells
+        }
+        engine = run_throughput(cells, params=PARAMS)
+        assert set(engine) == set(reference)
+        for name in reference:
+            assert self._canonical(engine[name]) == self._canonical(
+                reference[name]
+            )
+
+    def test_phase_cache_warm_run_byte_identical(self, tmp_path):
+        """A warm on-disk phase cache must change nothing observable —
+        not even the solve / cache-hit counter sequences."""
+        from repro import obs
+        from repro.simulation.engine import M_PHASECACHE_HITS
+
+        cell = build_cell(SOI28, "AOI22", 1)
+        store = tmp_path / "phases"
+        cold = generate_ca_model(
+            cell, params=PARAMS, keep_responses=True, packed=True,
+            phase_cache=store,
+        )
+        assert list(store.glob("*.json")), "cold run must populate the store"
+        with obs.scoped(metrics=obs.Metrics()) as state:
+            warm = generate_ca_model(
+                cell, params=PARAMS, keep_responses=True, packed=True,
+                phase_cache=store,
+            )
+            hits = state.metrics.get(M_PHASECACHE_HITS)
+        assert hits > 0, "warm run must actually consume the store"
+        assert self._canonical(warm) == self._canonical(cold)
+
+
 # ----------------------------------------------------------------------
 # Randomized property test: random series-parallel cells, random defects
 # ----------------------------------------------------------------------

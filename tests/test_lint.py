@@ -331,11 +331,15 @@ def test_fingerprint_distinguishes_identical_lines(tmp_path):
 # ----------------------------------------------------------------------
 
 def test_catalog_matches_defining_modules():
+    import repro.camodel.planstore as planstore
     import repro.camodel.stats as stats
+    import repro.camodel.throughput as throughput
     import repro.resilience.runner as runner
+    import repro.simulation.engine as engine
+    import repro.simulation.phasecache as phasecache
     from repro.lint.catalog import METRIC_NAMES
 
-    for module in (stats, runner):
+    for module in (stats, runner, engine, phasecache, planstore, throughput):
         for attr in dir(module):
             if attr.startswith("M_"):
                 value = getattr(module, attr)
