@@ -1,0 +1,140 @@
+"""Bench-trajectory regression gate (stdlib only).
+
+Compares freshly measured ``BENCH_<group>.json`` records (written by the
+``bench_record`` fixture in ``benchmarks/conftest.py``) against the
+committed baselines under ``benchmarks/baselines/`` and fails when a
+tracked ratio regressed past the tolerance band.
+
+Only *relative* metrics are gated — every key named ``speedup`` (or
+ending in ``_speedup``).  Raw seconds depend on the machine; a speedup
+is a ratio of two runs on the same machine, so it travels: the packed
+engine being 2x faster than the per-cell loop is a property of the code,
+not of the CI runner.  Higher is better; a fresh speedup may fall at
+most ``tolerance`` (default 25%, generous because bench cells are small)
+below its baseline.  A benchmark present in a baseline but missing from
+the fresh file fails too — a silently dropped bench is how trajectories
+rot.  New benchmarks without a baseline are reported but pass.
+
+Usage (what the CI bench job runs)::
+
+    python benchmarks/check_regression.py BENCH_generation.json BENCH_library.json
+    python benchmarks/check_regression.py --tolerance 0.3 BENCH_library.json
+
+Exit codes: 0 ok, 1 regression (or missing benchmark), 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: record keys that identify a benchmark within a group file
+IDENTITY_KEYS = ("benchmark", "cell", "cells", "function")
+
+
+def _identity(record):
+    return tuple(
+        (key, record[key]) for key in IDENTITY_KEYS if key in record
+    )
+
+
+def _gated_metrics(record):
+    return {
+        key: float(value)
+        for key, value in record.items()
+        if (key == "speedup" or key.endswith("_speedup"))
+        and isinstance(value, (int, float))
+    }
+
+
+def _load(path):
+    data = json.loads(Path(path).read_text())
+    return data["group"], {_identity(r): r for r in data["records"]}
+
+
+def check_group(fresh_path, baseline_dir, tolerance):
+    """Compare one fresh group file; returns a list of failure strings."""
+    group, fresh = _load(fresh_path)
+    baseline_path = baseline_dir / f"BENCH_{group}.json"
+    if not baseline_path.exists():
+        print(f"{group}: no baseline at {baseline_path}; skipping gate")
+        return []
+    _, baseline = _load(baseline_path)
+    failures = []
+    for identity, base_record in sorted(baseline.items()):
+        label = ", ".join(f"{k}={v}" for k, v in identity)
+        fresh_record = fresh.get(identity)
+        if fresh_record is None:
+            failures.append(
+                f"{group}: benchmark [{label}] present in the baseline but "
+                "missing from the fresh run"
+            )
+            continue
+        for key, base_value in sorted(_gated_metrics(base_record).items()):
+            fresh_value = _gated_metrics(fresh_record).get(key)
+            if fresh_value is None:
+                failures.append(
+                    f"{group}: [{label}] {key} missing from the fresh run "
+                    f"(baseline {base_value:g})"
+                )
+                continue
+            floor = base_value * (1.0 - tolerance)
+            verdict = "ok" if fresh_value >= floor else "REGRESSED"
+            print(
+                f"{group}: [{label}] {key} = {fresh_value:g} "
+                f"(baseline {base_value:g}, floor {floor:g}) {verdict}"
+            )
+            if fresh_value < floor:
+                failures.append(
+                    f"{group}: [{label}] {key} regressed to {fresh_value:g} "
+                    f"(baseline {base_value:g}, tolerance {tolerance:.0%})"
+                )
+    for identity in sorted(set(fresh) - set(baseline)):
+        label = ", ".join(f"{k}={v}" for k, v in identity)
+        print(f"{group}: [{label}] has no baseline yet (passes; consider adding one)")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", nargs="+", help="freshly written BENCH_<group>.json file(s)"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=BASELINE_DIR,
+        help=f"directory of committed baselines (default {BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop below the baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    failures = []
+    for fresh_path in args.fresh:
+        if not Path(fresh_path).exists():
+            print(f"error: {fresh_path} does not exist", file=sys.stderr)
+            return 2
+        failures.extend(
+            check_group(fresh_path, args.baseline_dir, args.tolerance)
+        )
+    if failures:
+        print(
+            f"\n{len(failures)} bench regression(s):", file=sys.stderr
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbench trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

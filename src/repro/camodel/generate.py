@@ -59,6 +59,7 @@ from repro.camodel.stats import (
     M_MERGE_SECONDS,
     M_SIMULATED,
     M_SKIPPED,
+    M_CELL_SECONDS,
     M_SOLVES,
     M_TOTAL_SECONDS,
 )
@@ -585,6 +586,9 @@ def _generate(
         simulation_count = len(words) * (1 + counters["simulated"])
         total_seconds = time.perf_counter() - started
         registry.inc(M_TOTAL_SECONDS, total_seconds)
+        # Histogram sample per finished cell: p50/p95/p99 across a
+        # library run (counters only carry the sum).
+        registry.observe(M_CELL_SECONDS, total_seconds)
         generate_span.set("workers", workers)
         generate_span.set("simulated_defects", counters["simulated"])
         stats = GenerationStats.from_metrics(

@@ -28,6 +28,9 @@ M_GOLDEN_SECONDS = "camodel.seconds.golden"
 M_DEFECT_SECONDS = "camodel.seconds.defects"
 M_MERGE_SECONDS = "camodel.seconds.merge"
 M_TOTAL_SECONDS = "camodel.seconds.total"
+#: histogram (one sample per finished cell) — p50/p95/p99 of per-cell
+#: generation wall time in ``--stats`` / inspect output
+M_CELL_SECONDS = "camodel.seconds.per_cell"
 
 
 @dataclass

@@ -52,6 +52,7 @@ from repro.camodel.stats import (
     GenerationStats,
     M_BATCHED,
     M_CACHE_HITS,
+    M_CELL_SECONDS,
     M_SIMULATED,
     M_SKIPPED,
     M_SOLVES,
@@ -235,6 +236,7 @@ def run_throughput(
                 }
                 for key, value in delta.items():
                     registry.inc(key, value)
+                registry.observe(M_CELL_SECONDS, cell_seconds)
                 stats = GenerationStats.from_metrics(delta, workers=1)
                 out[run.cell.name] = CAModel(
                     cell_name=run.cell.name,

@@ -4,6 +4,8 @@ Subcommands mirror the flows of the paper::
 
     python -m repro generate  CELL.sp -o model.json     # Fig. 1
     python -m repro batch     CELLS.sp --run-dir RUN    # resumable runs
+    python -m repro inspect   RUN summary               # run telemetry
+    python -m repro watch     RUN                       # live progress
     python -m repro rename    CELL.sp                   # Section III
     python -m repro predict   CELL.sp -t models.json    # Fig. 2
     python -m repro hybrid    CELLS.sp -t models.json   # Fig. 7
@@ -130,6 +132,15 @@ def cmd_generate(args) -> int:
                 f"merge {stats.merge_seconds:.3f}s "
                 f"= {stats.total_seconds:.3f}s"
             )
+    if args.stats:
+        registry = obs.metrics()
+        if "camodel.seconds.per_cell" in registry.histograms:
+            print(
+                "per-cell seconds: "
+                f"p50={registry.percentile('camodel.seconds.per_cell', 0.50):.3f} "
+                f"p95={registry.percentile('camodel.seconds.per_cell', 0.95):.3f} "
+                f"p99={registry.percentile('camodel.seconds.per_cell', 0.99):.3f}"
+            )
     if args.output:
         if len(models) == 1:
             save_model(models[0], args.output)
@@ -186,6 +197,63 @@ def cmd_batch(args) -> int:
         print(f"failure report: {result.run_dir / 'failures.json'}")
         return 3
     return 0
+
+
+def cmd_inspect(args) -> int:
+    """Render one analysis report over a run directory's telemetry."""
+    from repro.obs import inspect as obs_inspect
+    from repro.obs.store import RunTelemetry
+    from repro.resilience import RunDirError
+
+    try:
+        tel = RunTelemetry.load(args.run_dir)
+    except RunDirError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    obs.metrics().inc(obs_inspect.M_REPORTS)
+    if args.report == "summary":
+        print(obs_inspect.report_summary(tel))
+    elif args.report == "stragglers":
+        print(obs_inspect.report_stragglers(tel, top=args.top))
+    elif args.report == "cache":
+        print(obs_inspect.report_cache(tel))
+    elif args.report == "failures":
+        print(obs_inspect.report_failures(tel))
+    else:  # trace
+        out = args.chrome or str(Path(args.run_dir) / "trace.json")
+        tel.write_chrome(out)
+        print(f"wrote {out} ({len(tel.merged_spans())} spans)")
+    return 0
+
+
+def cmd_watch(args) -> int:
+    """Live progress tail of a run directory's ledger + shard store."""
+    import time as _time
+
+    from repro.obs import inspect as obs_inspect
+    from repro.resilience import RunDirError
+
+    window = obs_inspect.WatchWindow()
+    refreshes = 0
+    while True:
+        try:
+            snapshot = obs_inspect.watch_snapshot(args.run_dir)
+        except RunDirError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        done = snapshot["counts"].get("done", 0)
+        rate = window.update(snapshot["time"], done)
+        obs.metrics().inc(obs_inspect.M_WATCH_REFRESHES)
+        print(obs_inspect.render_watch(snapshot, rate), flush=True)
+        refreshes += 1
+        if args.iterations is not None and refreshes >= args.iterations:
+            return 0
+        if obs_inspect.watch_complete(snapshot):
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
 
 
 def cmd_rename(args) -> int:
@@ -438,6 +506,54 @@ def build_parser() -> argparse.ArgumentParser:
         "(identity-preserving; not part of the run fingerprint)",
     )
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "inspect",
+        help="analyze a run directory's telemetry store",
+        parents=[obs_parent],
+    )
+    p.add_argument("run_dir", help="run directory of a batch run")
+    p.add_argument(
+        "report",
+        nargs="?",
+        default="summary",
+        choices=["summary", "stragglers", "cache", "failures", "trace"],
+        help="subreport to render (default: summary)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="rows in the stragglers report (default 5)",
+    )
+    p.add_argument(
+        "--chrome",
+        metavar="OUT.json",
+        default=None,
+        help="output path for the trace report's merged Chrome trace "
+        "(default RUN_DIR/trace.json)",
+    )
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "watch",
+        help="live progress of a (possibly running) run directory",
+        parents=[obs_parent],
+    )
+    p.add_argument("run_dir", help="run directory of a batch run")
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N refreshes (default: until the run completes)",
+    )
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser(
         "rename", help="canonical transistor renaming", parents=[obs_parent]

@@ -13,8 +13,11 @@ and a syntax error in a linted module must not break the linter).
 the copy against rot: every ``M_*`` constant in
 :mod:`repro.camodel.stats`, :mod:`repro.resilience.runner`,
 :mod:`repro.simulation.engine`, :mod:`repro.simulation.phasecache`,
-:mod:`repro.camodel.planstore` and :mod:`repro.camodel.throughput`
-must appear in :data:`METRIC_NAMES`.
+:mod:`repro.simulation.packed`, :mod:`repro.camodel.planstore`,
+:mod:`repro.camodel.throughput`, :mod:`repro.obs.store` and
+:mod:`repro.obs.inspect` must appear in :data:`METRIC_NAMES`, and
+every ``E_*`` constant in :mod:`repro.obs.trace` / :mod:`repro.obs.store`
+in :data:`EVENT_NAMES`.
 
 To add a metric or event: define the name constant in the owning
 module, use it at the call site, and register it here (same PR).
@@ -38,6 +41,10 @@ NAMESPACES: FrozenSet[str] = frozenset(
         "stats",
         "throughput",
         "phasecache",
+        "trace",
+        "obs",
+        "inspect",
+        "watch",
     }
 )
 
@@ -74,6 +81,17 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "phasecache.misses",
         "phasecache.loads",
         "phasecache.stores",
+        # packed-kernel padding accounting (repro.simulation.packed)
+        "throughput.kernel_slots",
+        "throughput.padded_slots",
+        # per-cell generation seconds histogram (repro.camodel.stats)
+        "camodel.seconds.per_cell",
+        # durable run-telemetry store (repro.obs.store)
+        "obs.shards_written",
+        "obs.shards_read",
+        # inspect / watch CLI (repro.obs.inspect)
+        "inspect.reports",
+        "watch.refreshes",
     }
 )
 
@@ -99,6 +117,10 @@ EVENT_NAMES: FrozenSet[str] = frozenset(
         "resilience.artifact_invalid",
         # on-disk phase-cache store
         "phasecache.corrupt",
+        # span-buffer merging (repro.obs.trace)
+        "trace.orphan_spans",
+        # durable run-telemetry store (repro.obs.store)
+        "obs.shard_corrupt",
     }
 )
 

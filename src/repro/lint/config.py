@@ -88,10 +88,12 @@ class LintConfig:
         "*/resilience/*",
         "*/camodel/io.py",
         "*/experiments/cache.py",
+        "*/obs/store.py",
     )
     #: the sanctioned atomic writer implementations
     atomic_writers: Tuple[str, ...] = (
         "*/camodel/io.py::_write_json_atomic",
+        "*/obs/store.py::_atomic_write",
     )
 
     # -- RPL007 payload-open-handles -------------------------------------

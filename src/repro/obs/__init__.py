@@ -53,9 +53,17 @@ from repro.obs.events import (
     TextSink,
 )
 from repro.obs.metrics import Metrics
-from repro.obs.trace import NULL_SPAN, Span, Tracer, orphan_parents
+from repro.obs.trace import (
+    E_ORPHAN_SPANS,
+    NULL_SPAN,
+    Span,
+    Tracer,
+    chrome_payload,
+    orphan_parents,
+)
 
 __all__ = [
+    "E_ORPHAN_SPANS",
     "Event",
     "EventLog",
     "JsonlSink",
@@ -69,6 +77,7 @@ __all__ = [
     "TeeSink",
     "TextSink",
     "Tracer",
+    "chrome_payload",
     "configure",
     "events",
     "metrics",

@@ -6,15 +6,33 @@ their own :class:`Metrics`, ship :meth:`snapshot` back with their results,
 and the parent :meth:`merge`\\ s the deltas, so a parallel run ends with
 one coherent registry (the numbers :class:`~repro.camodel.stats.GenerationStats`
 is now a view over).
+
+Histograms carry fixed, log-spaced buckets besides count/sum/min/max, so
+p50/p95/p99 estimates (:meth:`Metrics.percentile`) are deterministic —
+the same samples produce the same estimate in any order, across merges,
+and across processes.  The bounds cover 1 µs to 100 ks at four buckets
+per decade, matching the duration distributions the repo observes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional
+
+#: fixed histogram bucket upper bounds: 10^(k/4) for 1e-6 .. 1e5.
+#: Values at or below the first bound land in bucket 0, values above the
+#: last bound in the overflow bucket — len(BUCKET_BOUNDS) + 1 in total.
+BUCKET_BOUNDS: tuple = tuple(10.0 ** (exp / 4.0) for exp in range(-24, 21))
 
 
-def _new_histogram() -> Dict[str, float]:
-    return {"count": 0.0, "sum": 0.0, "min": float("inf"), "max": float("-inf")}
+def _new_histogram() -> Dict[str, object]:
+    return {
+        "count": 0.0,
+        "sum": 0.0,
+        "min": float("inf"),
+        "max": float("-inf"),
+        "buckets": [0.0] * (len(BUCKET_BOUNDS) + 1),
+    }
 
 
 class Metrics:
@@ -23,7 +41,7 @@ class Metrics:
     def __init__(self):
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
-        self.histograms: Dict[str, Dict[str, float]] = {}
+        self.histograms: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     def inc(self, name: str, value: float = 1.0) -> None:
@@ -35,7 +53,7 @@ class Metrics:
         self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Record one sample into a histogram (count/sum/min/max)."""
+        """Record one sample into a histogram (count/sum/min/max/buckets)."""
         hist = self.histograms.get(name)
         if hist is None:
             hist = self.histograms[name] = _new_histogram()
@@ -43,6 +61,7 @@ class Metrics:
         hist["sum"] += value
         hist["min"] = min(hist["min"], value)
         hist["max"] = max(hist["max"], value)
+        hist["buckets"][bisect_left(BUCKET_BOUNDS, value)] += 1
 
     # ------------------------------------------------------------------
     def checkpoint(self) -> Dict[str, float]:
@@ -92,10 +111,32 @@ class Metrics:
             hist["sum"] += other["sum"]
             hist["min"] = min(hist["min"], other["min"])
             hist["max"] = max(hist["max"], other["max"])
+            # Buckets from an older writer may be absent; counts and
+            # extremes still merge, percentiles just see fewer samples.
+            other_buckets = other.get("buckets")
+            if other_buckets is not None and len(other_buckets) == len(
+                hist["buckets"]
+            ):
+                hist["buckets"] = [
+                    a + b for a, b in zip(hist["buckets"], other_buckets)
+                ]
 
     # ------------------------------------------------------------------
     def get(self, name: str, default: float = 0.0) -> float:
         return self.counters.get(name, default)
+
+    def percentile(self, name: str, q: float) -> float:
+        """Deterministic quantile estimate from the fixed buckets.
+
+        *q* is a fraction in (0, 1] (``0.95`` for p95).  The estimate
+        interpolates linearly inside the bucket holding the q-th sample
+        and is clamped to the observed min/max, so it is exact for
+        single-sample histograms and order-independent always.
+        """
+        hist = self.histograms.get(name)
+        if hist is None or not hist["count"]:
+            return 0.0
+        return _bucket_percentile(hist, q)
 
     def render(self, prefix: Optional[str] = None) -> str:
         """Plain-text dump (``--stats``-style debugging aid)."""
@@ -115,6 +156,36 @@ class Metrics:
             mean = h["sum"] / h["count"] if h["count"] else 0.0
             lines.append(
                 f"{name}: n={h['count']:g} mean={mean:g} "
-                f"min={h['min']:g} max={h['max']:g}"
+                f"min={h['min']:g} max={h['max']:g} "
+                f"p50={self.percentile(name, 0.50):g} "
+                f"p95={self.percentile(name, 0.95):g} "
+                f"p99={self.percentile(name, 0.99):g}"
             )
         return "\n".join(lines)
+
+
+def _bucket_percentile(hist: Mapping[str, object], q: float) -> float:
+    """Quantile of one histogram dict (see :meth:`Metrics.percentile`)."""
+    count = float(hist["count"])  # type: ignore[arg-type]
+    lo_clamp = float(hist["min"])  # type: ignore[arg-type]
+    hi_clamp = float(hist["max"])  # type: ignore[arg-type]
+    buckets: Optional[List[float]] = hist.get("buckets")  # type: ignore[assignment]
+    if not buckets or not any(buckets):
+        # Bucketless (older writer): the extremes are all we know.
+        return hi_clamp if q >= 0.5 else lo_clamp
+    target = max(1.0, q * count)
+    cumulative = 0.0
+    for index, in_bucket in enumerate(buckets):
+        if not in_bucket:
+            continue
+        if cumulative + in_bucket < target:
+            cumulative += in_bucket
+            continue
+        lower = BUCKET_BOUNDS[index - 1] if index > 0 else lo_clamp
+        upper = (
+            BUCKET_BOUNDS[index] if index < len(BUCKET_BOUNDS) else hi_clamp
+        )
+        fraction = (target - cumulative) / in_bucket
+        estimate = lower + (upper - lower) * fraction
+        return min(max(estimate, lo_clamp), hi_clamp)
+    return hi_clamp

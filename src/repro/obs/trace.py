@@ -36,6 +36,10 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+#: Event emitted when :meth:`Tracer.absorb` detects incoming spans whose
+#: parents exist in neither the absorbed buffer nor this tracer.
+E_ORPHAN_SPANS = "trace.orphan_spans"
+
 
 class _NullSpan:
     """Shared no-op span handed out by a disabled tracer."""
@@ -146,6 +150,14 @@ class Tracer:
         """Finished spans as plain dicts (what crosses a worker pipe)."""
         return list(self._spans)
 
+    def mark(self) -> int:
+        """Position in the span buffer, for later :meth:`export_since`."""
+        return len(self._spans)
+
+    def export_since(self, mark: int) -> List[Dict[str, object]]:
+        """Spans finished after :meth:`mark` was taken."""
+        return list(self._spans[mark:])
+
     def absorb(
         self,
         spans: Iterable[Dict[str, object]],
@@ -155,10 +167,37 @@ class Tracer:
 
         Worker-side root spans (``parent_id is None``) are re-parented
         under *parent_id*, so a parallel run yields one tree; ids embed
-        the worker PID and never collide with local ones.
+        the worker PID and never collide with local ones.  Incoming spans
+        whose parents exist in neither the absorbed buffer nor this
+        tracer would silently break the tree, so they raise a
+        ``trace.orphan_spans`` warning event instead.
         """
-        for span in spans:
-            record = dict(span)
+        incoming = [dict(span) for span in spans]
+        if not incoming:
+            return
+        known = {record["span_id"] for record in incoming}
+        known.update(span["span_id"] for span in self._spans)
+        known.update(self._stack)
+        if parent_id is not None:
+            known.add(parent_id)
+        orphans = sorted(
+            {
+                str(record["parent_id"])
+                for record in incoming
+                if record.get("parent_id") is not None
+                and record["parent_id"] not in known
+            }
+        )
+        if orphans:
+            from repro import obs  # local import: obs package imports us
+
+            obs.events().warning(
+                E_ORPHAN_SPANS,
+                orphans=orphans,
+                spans=len(incoming),
+                parent_id=parent_id,
+            )
+        for record in incoming:
             if record.get("parent_id") is None and parent_id is not None:
                 record["parent_id"] = parent_id
             self._spans.append(record)
@@ -171,40 +210,7 @@ class Tracer:
 
     def chrome_payload(self) -> Dict[str, object]:
         """Chrome trace-viewer JSON object (``traceEvents`` format)."""
-        events: List[Dict[str, object]] = []
-        pids = []
-        for span in self._spans:
-            if span["pid"] not in pids:
-                pids.append(span["pid"])
-            args = dict(span["attrs"])
-            args["span_id"] = span["span_id"]
-            if span["parent_id"] is not None:
-                args["parent_id"] = span["parent_id"]
-            events.append(
-                {
-                    "name": span["name"],
-                    "ph": "X",
-                    "ts": span["start"] * 1e6,
-                    "dur": span["duration"] * 1e6,
-                    "pid": span["pid"],
-                    "tid": span["pid"],
-                    "cat": span["name"].split(".", 1)[0],
-                    "args": args,
-                }
-            )
-        main_pid = os.getpid()
-        for pid in pids:
-            label = "main" if pid == main_pid else f"worker {pid}"
-            events.append(
-                {
-                    "name": "process_name",
-                    "ph": "M",
-                    "pid": pid,
-                    "tid": pid,
-                    "args": {"name": label},
-                }
-            )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return chrome_payload(self._spans, main_pid=os.getpid())
 
     def write_chrome(self, path: Union[str, Path]) -> None:
         Path(path).write_text(json.dumps(self.chrome_payload()))
@@ -215,6 +221,60 @@ class Tracer:
             self.write_jsonl(path)
         else:
             self.write_chrome(path)
+
+
+def chrome_payload(
+    spans: Sequence[Dict[str, object]],
+    main_pid: Optional[int] = None,
+) -> Dict[str, object]:
+    """Chrome trace-viewer JSON for a span list (``traceEvents`` format).
+
+    *main_pid* names which process track is labelled ``main`` — the live
+    tracer passes its own PID; the run-directory store passes the PID
+    recorded in the session shard, so offline merges label processes the
+    way the run saw them.  The canonical span list rides along under the
+    ``reproSpans`` key (trace viewers ignore unknown keys), which is what
+    makes an exported trace load back losslessly.
+    """
+    events: List[Dict[str, object]] = []
+    pids: List[int] = []
+    for span in spans:
+        if span["pid"] not in pids:
+            pids.append(span["pid"])  # type: ignore[arg-type]
+        args = dict(span["attrs"])  # type: ignore[call-overload]
+        args["span_id"] = span["span_id"]
+        if span["parent_id"] is not None:
+            args["parent_id"] = span["parent_id"]
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": span["start"] * 1e6,  # type: ignore[operator]
+                "dur": span["duration"] * 1e6,  # type: ignore[operator]
+                "pid": span["pid"],
+                "tid": span["pid"],
+                "cat": str(span["name"]).split(".", 1)[0],
+                "args": args,
+            }
+        )
+    if main_pid is None:
+        main_pid = os.getpid()
+    for pid in pids:
+        label = "main" if pid == main_pid else f"worker {pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": label},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "reproSpans": [dict(span) for span in spans],
+    }
 
 
 def orphan_parents(spans: Sequence[Dict[str, object]]) -> List[str]:

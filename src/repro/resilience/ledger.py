@@ -9,6 +9,12 @@ A run directory is the unit of resumability::
         <cell>-<key>.json           # completed model artifact (canonical)
         <cell>-<key>.obs.json       # worker obs sidecar (spans + metrics)
         <cell>-<key>.error.json     # structured record of the last failure
+      obs/
+        <cell>-<key>.a<NNN>.json    # per-attempt telemetry shard
+        session-<NNN>.json          # per-session parent telemetry shard
+
+    (the ``obs/`` telemetry store is owned by :mod:`repro.obs.store`;
+    ``python -m repro inspect RUN_DIR`` reads it merged with this ledger)
 
 Artifacts are **content-keyed** like the experiment cache: ``<key>`` is a
 hash over the cell netlist text and every generation option, so a resume

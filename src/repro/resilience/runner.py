@@ -29,7 +29,12 @@ through a sidecar file; the parent absorbs spans under the
 ``resilience.run`` span and merges counters exactly once, when the cell
 transitions to ``done``.  Retries, timeouts and quarantines are counted
 under the ``resilience.*`` metric namespace and emitted as structured
-events.
+events.  With ``persist_telemetry=True`` (the default) every attempt
+additionally writes a durable telemetry shard into ``<run_dir>/obs/``
+(spans, counters, events, outcome — see :mod:`repro.obs.store`), the
+parent writes one session shard per run, and crashed / timed-out
+attempts get their shard written by the parent, so ``python -m repro
+inspect RUN_DIR`` can reconstruct the whole run after the fact.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
+from repro.obs import store as obs_store
 from repro.camodel.batch import ensure_unique_cell_names
 from repro.camodel.generate import (
     DEFAULT_SLOW_FACTOR,
@@ -178,17 +184,43 @@ def _cell_worker(payload: Dict[str, object]) -> None:
     from repro.camodel.planstore import plan_store
 
     name = payload["name"]
+    shard_path = payload.get("obs_shard")
     plan = faults.plan_from_payload(payload["fault_plan"])
     faults.activate(plan, cell=name, attempt=payload["attempt"])
+    # Created before the try block so the exception path can still ship
+    # whatever telemetry the attempt produced before dying.
+    worker_tracer = obs.Tracer(enabled=payload["trace_enabled"])
+    worker_metrics = obs.Metrics()
+    worker_events = obs.ListSink()
+    started_wall = time.time()
+
+    def write_shard(outcome: str, seconds: float, error=None) -> None:
+        if shard_path is None:
+            return
+        obs_store.write_attempt_shard(
+            shard_path,
+            cell=name,
+            key=payload["content_key"],
+            attempt=payload["attempt"],
+            outcome=outcome,
+            pid=os.getpid(),
+            started=started_wall,
+            seconds=seconds,
+            counters=worker_metrics.snapshot()["counters"],
+            spans=worker_tracer.export(),
+            events=[event.to_dict() for event in worker_events.events],
+            error=error,
+        )
+
     try:
         faults.fire(faults.SITE_WORKER_START)
-        worker_tracer = obs.Tracer(enabled=payload["trace_enabled"])
-        worker_metrics = obs.Metrics()
         started = time.perf_counter()
         with obs.scoped(
             tracer=worker_tracer,
             metrics=worker_metrics,
-            events=obs.EventLog(obs.NullSink()),
+            events=obs.EventLog(
+                worker_events if shard_path is not None else obs.NullSink()
+            ),
         ):
             # Plan-once / replay-many: the store parses a cell text once
             # per worker process, however many attempts replay it.
@@ -222,14 +254,21 @@ def _cell_worker(payload: Dict[str, object]) -> None:
                 "spans": worker_tracer.export(),
             },
         )
+        write_shard("ok", elapsed)
     except BaseException as exc:  # noqa: BLE001 - classified for the parent
+        error_text = f"{type(exc).__name__}: {exc}"
         record = {
             "kind": "exception",
-            "error": f"{type(exc).__name__}: {exc}",
+            "error": error_text,
             "traceback": traceback.format_exc(),
         }
         try:
             _write_json_atomic(Path(payload["error"]), record)
+            # The partial spans/counters of a dying attempt are still
+            # part of what the run paid for — persist them too.
+            write_shard(
+                "exception", time.time() - started_wall, error=error_text
+            )
         finally:
             os._exit(faults.EXCEPTION_EXIT)
 
@@ -249,6 +288,8 @@ class _Active:
     #: a resumed session retries previously failed cells afresh)
     session_attempt: int
     started: float
+    #: wall-clock start (telemetry shards; `started` is monotonic)
+    started_wall: float
     deadline: Optional[float]
 
 
@@ -283,6 +324,7 @@ def run_library(
     cell_timeout: Optional[float] = None,
     retry_backoff: float = 0.1,
     fault_plan: Optional[faults.FaultPlan] = None,
+    persist_telemetry: bool = True,
     params: Optional[ElectricalParams] = None,
     universe: Optional[Sequence[Defect]] = None,
     delay_detection: bool = True,
@@ -313,6 +355,12 @@ def run_library(
     fault_plan:
         Deterministic failure script for chaos testing
         (:mod:`repro.resilience.faults`).
+    persist_telemetry:
+        Write durable telemetry shards into ``<run_dir>/obs/`` — one per
+        attempt (worker spans forced on, counters, events, outcome) plus
+        one session shard per run (:mod:`repro.obs.store`), feeding
+        ``python -m repro inspect`` / ``watch``.  Purely additive: model
+        artifacts and the ledger are byte-identical either way.
     output:
         When given, the (possibly partial) library JSON is written there
         atomically from the checkpoint artifacts — byte-identical across
@@ -337,11 +385,31 @@ def run_library(
     technologies = {cell.name: cell.technology for cell in cells}
     keyed = [(name, content_key(texts[name], options)) for name in names]
     ledger = RunLedger.open(run_dir, options, keyed, resume=resume)
+    store = obs_store.ObsStore(run_dir) if persist_telemetry else None
 
     tracer = obs.tracer()
+    if store is not None and not tracer.enabled:
+        # The session shard needs the parent-side spans even when the
+        # CLI ran untraced; a local enabled tracer keeps the global
+        # (null) state untouched — only this runner writes through it.
+        tracer = obs.Tracer(enabled=True)
     registry = obs.metrics()
     events = obs.events()
     result = RunResult(run_dir=Path(run_dir))
+
+    # Session-shard bookkeeping: parent spans/events/counters of THIS
+    # session only, with merged worker counters subtracted back out (the
+    # ledger is their single source of truth; double-storing them would
+    # break the reader's exact reconciliation).
+    session_started = time.time()
+    span_mark = tracer.mark()
+    counter_mark = registry.checkpoint()
+    merged_this_session: Dict[str, float] = {}
+    session_events = obs.ListSink() if store is not None else None
+    if session_events is not None:
+        # Local tee, not a global sink mutation: events this runner emits
+        # reach both the configured sink and the session shard buffer.
+        events = obs.EventLog(obs.TeeSink([events.sink, session_events]))
 
     kwargs = dict(
         params=params,
@@ -401,6 +469,7 @@ def run_library(
             attempt = ledger.mark_running(name)
             session_attempt = session_attempts.get(name, 0)
             session_attempts[name] = session_attempt + 1
+            key = str(ledger.cells[name]["key"])
             payload = {
                 "name": name,
                 "cell_text": texts[name],
@@ -410,9 +479,17 @@ def run_library(
                 "artifact": str(ledger.artifact_path(name)),
                 "sidecar": str(ledger.sidecar_path(name)),
                 "error": str(ledger.error_path(name)),
-                "trace_enabled": tracer.enabled,
+                # Persisted telemetry needs worker spans even when the
+                # parent runs untraced — the shard is the whole point.
+                "trace_enabled": tracer.enabled or store is not None,
                 "fault_plan": plan_payload,
                 "attempt": attempt,
+                "content_key": key,
+                "obs_shard": (
+                    str(store.attempt_shard_path(name, key, attempt))
+                    if store is not None
+                    else None
+                ),
             }
             process = multiprocessing.Process(
                 target=_cell_worker, args=(payload,)
@@ -426,6 +503,7 @@ def run_library(
                     attempt=attempt,
                     session_attempt=session_attempt,
                     started=now,
+                    started_wall=time.time(),
                     deadline=(
                         now + cell_timeout if cell_timeout is not None else None
                     ),
@@ -444,9 +522,12 @@ def run_library(
                         k: float(v)
                         for k, v in side.get("counters", {}).items()
                     }
-                    tracer.absorb(
-                        side.get("spans", []), parent_id=run_span.span_id
-                    )
+                    if tracer.enabled:
+                        # Workers trace unconditionally when telemetry is
+                        # persisted; only absorb into a live parent tracer.
+                        tracer.absorb(
+                            side.get("spans", []), parent_id=run_span.span_id
+                        )
                 except (ValueError, json.JSONDecodeError):
                     pass
             ledger.mark_done(slot.name, seconds=seconds, metrics=metrics)
@@ -454,6 +535,10 @@ def run_library(
             # Resumed sessions read completed cells from the ledger and
             # never pass here again, so nothing is double-counted.
             registry.merge_counters(metrics)
+            for key, value in metrics.items():
+                merged_this_session[key] = (
+                    merged_this_session.get(key, 0.0) + float(value)
+                )
             registry.inc(M_CELLS_DONE)
             events.debug(
                 "resilience.cell_done",
@@ -481,6 +566,26 @@ def run_library(
             if artifact.exists() and not ledger.validate_artifact(slot.name):
                 artifact.unlink()
             ledger.record_failure(slot.name, record)
+            if store is not None:
+                # A crashed / timed-out worker never reached its own
+                # shard write; the parent records what it knows so the
+                # failure timeline has one shard per attempt regardless.
+                key = str(ledger.cells[slot.name]["key"])
+                if not store.has_attempt(slot.name, key, slot.attempt):
+                    obs_store.write_attempt_shard(
+                        store.attempt_shard_path(slot.name, key, slot.attempt),
+                        cell=slot.name,
+                        key=key,
+                        attempt=slot.attempt,
+                        outcome=kind,
+                        pid=slot.process.pid or 0,
+                        started=slot.started_wall,
+                        seconds=float(record["elapsed"]),
+                        counters={},
+                        spans=[],
+                        events=[],
+                        error=str(record.get("error", "")),
+                    )
             if slot.session_attempt < retries:
                 registry.inc(M_RETRIES)
                 delay = (
@@ -569,8 +674,11 @@ def run_library(
                 time.sleep(POLL_INTERVAL)
 
         # All workers have exited: any temp file left in the models dir
-        # belongs to an interrupted write of a failed attempt.
+        # or shard store belongs to an interrupted write of a failed
+        # attempt.
         purge_stale_tmp(ledger.models_dir)
+        if store is not None:
+            purge_stale_tmp(store.obs_dir)
 
         # ------------------------------------------------------------------
         # Assemble the (possibly partial) library from the checkpoints.
@@ -596,4 +704,26 @@ def run_library(
         run_span.set("done", len(result.models))
         run_span.set("quarantined", len(result.quarantined))
         run_span.set("resumed", len(result.resumed))
+    if store is not None and session_events is not None:
+        own_pid = os.getpid()
+        session_spans = [
+            span
+            for span in tracer.export_since(span_mark)
+            if span["pid"] == own_pid
+        ]
+        counter_delta = registry.counter_delta(counter_mark)
+        parent_counters: Dict[str, float] = {}
+        for key, value in counter_delta.items():
+            remainder = value - merged_this_session.get(key, 0.0)
+            if remainder:
+                parent_counters[key] = remainder
+        store.write_session(
+            pid=own_pid,
+            started=session_started,
+            seconds=time.time() - session_started,
+            root_span_id=run_span.span_id,
+            counters=parent_counters,
+            spans=session_spans,
+            events=[event.to_dict() for event in session_events.events],
+        )
     return result

@@ -51,6 +51,7 @@ from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.simulation.solver import (
     CONTENDED,
     FLOAT,
@@ -62,6 +63,13 @@ from repro.simulation.solver import (
     StaticSolver,
     X,
 )
+
+
+#: padding-waste accounting of the packed kernel (registered in
+#: repro.lint.catalog): total row×column slots each call allocates, and
+#: how many of them are padding (rows shorter than the widest topology).
+M_KERNEL_SLOTS = "throughput.kernel_slots"
+M_PADDED_SLOTS = "throughput.padded_slots"
 
 
 class PackedRequest(NamedTuple):
@@ -400,6 +408,11 @@ def solve_packed(
 
     flat: List[Optional[SolveResult]] = [None] * batch
     n_of_row = pk.n_nodes[topo_idx]
+    # Padding waste of this call: every row spans N columns, but only
+    # its own topology's nodes do real work (the inspect `cache` report
+    # reads these to quantify mixed-size-library packing overhead).
+    obs.metrics().inc(M_KERNEL_SLOTS, float(batch * N))
+    obs.metrics().inc(M_PADDED_SLOTS, float(batch * N - int(n_of_row.sum())))
     active = rows.copy()
     for _ in range(MAX_ITERATIONS):
         new_codes, retention = _step_packed(

@@ -334,18 +334,32 @@ def test_catalog_matches_defining_modules():
     import repro.camodel.planstore as planstore
     import repro.camodel.stats as stats
     import repro.camodel.throughput as throughput
+    import repro.obs.inspect as obs_inspect
+    import repro.obs.store as obs_store
+    import repro.obs.trace as obs_trace
     import repro.resilience.runner as runner
     import repro.simulation.engine as engine
+    import repro.simulation.packed as packed
     import repro.simulation.phasecache as phasecache
-    from repro.lint.catalog import METRIC_NAMES
+    from repro.lint.catalog import EVENT_NAMES, METRIC_NAMES
 
-    for module in (stats, runner, engine, phasecache, planstore, throughput):
+    modules = (
+        stats, runner, engine, phasecache, planstore, throughput,
+        packed, obs_store, obs_inspect, obs_trace,
+    )
+    for module in modules:
         for attr in dir(module):
             if attr.startswith("M_"):
                 value = getattr(module, attr)
                 assert value in METRIC_NAMES, (
                     f"{module.__name__}.{attr} = {value!r} missing from "
                     "repro.lint.catalog.METRIC_NAMES"
+                )
+            elif attr.startswith("E_"):
+                value = getattr(module, attr)
+                assert value in EVENT_NAMES, (
+                    f"{module.__name__}.{attr} = {value!r} missing from "
+                    "repro.lint.catalog.EVENT_NAMES"
                 )
 
 

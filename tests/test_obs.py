@@ -116,6 +116,37 @@ class TestTracer:
         ]
         assert orphan_parents(spans) == ["9-9"]
 
+    def test_absorb_emits_orphan_warning_event(self):
+        tracer = Tracer()
+        sink = ListSink()
+        with obs.scoped(events=EventLog(sink)):
+            tracer.absorb(
+                [
+                    {"span_id": "7-1", "parent_id": None, "name": "root",
+                     "start": 0.0, "duration": 0.1, "pid": 7, "attrs": {}},
+                    {"span_id": "7-2", "parent_id": "9-9", "name": "lost",
+                     "start": 0.0, "duration": 0.1, "pid": 7, "attrs": {}},
+                ],
+                parent_id=None,
+            )
+        warnings = sink.named(obs.E_ORPHAN_SPANS)
+        assert len(warnings) == 1
+        assert warnings[0].fields["orphans"] == ["9-9"]
+        # the spans are still absorbed — the warning flags, not drops
+        assert len(tracer.export()) == 2
+
+    def test_absorb_clean_merge_is_silent(self):
+        parent = Tracer()
+        worker = Tracer()
+        with worker.span("w.root"):
+            with worker.span("w.child"):
+                pass
+        sink = ListSink()
+        with obs.scoped(events=EventLog(sink)):
+            with parent.span("run") as run:
+                parent.absorb(worker.export(), parent_id=run.span_id)
+        assert sink.named(obs.E_ORPHAN_SPANS) == []
+
 
 class TestMetrics:
     def test_counters(self):
@@ -168,6 +199,66 @@ class TestMetrics:
         m.inc("other.thing", 1)
         text = m.render(prefix="camodel.")
         assert "camodel.solves = 3" in text and "other.thing" not in text
+
+    def test_percentiles_are_order_independent(self):
+        samples = [0.001, 0.5, 0.02, 3.0, 0.2, 0.9, 12.0, 0.07, 1.5, 0.4]
+        forward, backward = Metrics(), Metrics()
+        for v in samples:
+            forward.observe("h", v)
+        for v in reversed(samples):
+            backward.observe("h", v)
+        for q in (0.5, 0.95, 0.99):
+            assert forward.percentile("h", q) == backward.percentile("h", q)
+
+    def test_percentiles_survive_cross_process_merge(self):
+        samples = [0.001, 0.5, 0.02, 3.0, 0.2, 0.9, 12.0, 0.07, 1.5, 0.4]
+        whole = Metrics()
+        for v in samples:
+            whole.observe("h", v)
+        parent = Metrics()
+        child_a, child_b = Metrics(), Metrics()
+        for v in samples[:5]:
+            child_a.observe("h", v)
+        for v in samples[5:]:
+            child_b.observe("h", v)
+        parent.merge(child_a.snapshot())
+        parent.merge(child_b.snapshot())
+        for q in (0.5, 0.95, 0.99):
+            assert parent.percentile("h", q) == whole.percentile("h", q)
+
+    def test_percentile_bounds_and_edge_cases(self):
+        m = Metrics()
+        assert m.percentile("missing", 0.5) == 0.0
+        m.observe("one", 0.25)
+        # single sample: clamping makes every quantile exact
+        for q in (0.5, 0.95, 0.99):
+            assert m.percentile("one", q) == 0.25
+        for v in (1.0, 2.0, 4.0):
+            m.observe("h", v)
+        for q in (0.5, 0.95, 0.99):
+            assert 1.0 <= m.percentile("h", q) <= 4.0
+        assert m.percentile("h", 0.5) <= m.percentile("h", 0.95)
+
+    def test_percentile_backcompat_bucketless_snapshot(self):
+        parent = Metrics()
+        old = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "h": {"count": 4.0, "sum": 10.0, "min": 1.0, "max": 4.0}
+            },
+        }
+        parent.merge(old)
+        # extremes are all we know for an old writer's snapshot
+        assert parent.percentile("h", 0.95) == 4.0
+        assert parent.histograms["h"]["count"] == 4.0
+
+    def test_render_includes_percentiles(self):
+        m = Metrics()
+        for v in (0.1, 0.2, 0.3):
+            m.observe("camodel.seconds.per_cell", v)
+        text = m.render()
+        assert "p50=" in text and "p95=" in text and "p99=" in text
 
 
 class TestEvents:

@@ -8,7 +8,9 @@ byte-identical to an uninterrupted run.
 
 The quarantine scenario's failure report is copied to
 ``CHAOS_failure_report.json`` at the repo root (the same machine-readable
-artifact idiom as ``BENCH_generation.json``) so CI can upload it.
+artifact idiom as ``BENCH_generation.json``) so CI can upload it, and its
+merged run telemetry (attempt shards + span/counter rollup from the
+``obs/`` store) to ``CHAOS_run_telemetry.json``.
 """
 
 import json
@@ -112,6 +114,26 @@ class TestCrash:
             c.name for c in library_cells if c.name != VICTIM
         )
         assert (tmp_path / "run" / "library.json").read_bytes() == baseline
+
+        # publish the merged run telemetry of the chaos run for the CI
+        # artifact upload (same idiom as CHAOS_failure_report.json above)
+        from repro.obs.store import RunTelemetry
+
+        tel = RunTelemetry.load(tmp_path / "run")
+        assert tel.reconcile() == []
+        (ROOT / "CHAOS_run_telemetry.json").write_text(
+            json.dumps(
+                {
+                    "attempts": tel.attempts,
+                    "sessions": len(tel.sessions),
+                    "spans": len(tel.merged_spans()),
+                    "counters_by_cell": tel.counters_by_cell(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
 
 
 class TestHangTimeout:
