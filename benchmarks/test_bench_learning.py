@@ -98,3 +98,118 @@ def test_forest_fit_predict(benchmark):
 
     accuracy = benchmark.pedantic(run, rounds=1, iterations=1)
     assert accuracy > 0.99
+
+
+def _pre_pr_predict_proba(forest, X):
+    """The pre-frontier-engine inference path, verbatim.
+
+    Per-tree single-lane descent plus a Python per-class alignment
+    loop — the reference the fused :class:`PackedForest` descent is
+    measured against (and must match bit-for-bit).
+    """
+    X = np.asarray(X)
+    accumulated = np.zeros((len(X), len(forest.classes_)))
+    for tree in forest.estimators_:
+        proba = tree.predict_proba(X)
+        for j, cls_ in enumerate(tree.classes_):
+            k = int(np.searchsorted(forest.classes_, cls_))
+            accumulated[:, k] += proba[:, j]
+    return accumulated / len(forest.estimators_)
+
+
+def test_frontier_fit_speedup(bench_record, group_data):
+    """Level-synchronous growth against the recursive reference.
+
+    Same splits node for node (checked below), only the growth order
+    and batching differ; the acceptance bar is 3x on the real
+    NAND2/NOR2 training group.
+    """
+    import time
+
+    X, y, _, _ = group_data
+
+    def best_of(engine, rounds=3):
+        best = float("inf")
+        clf = None
+        for _ in range(rounds):
+            clf = RandomForestClassifier(
+                n_estimators=20, max_features=0.5, random_state=0,
+                engine=engine,
+            )
+            start = time.perf_counter()
+            clf.fit(X, y)
+            best = min(best, time.perf_counter() - start)
+        return best, clf
+
+    recursive_seconds, recursive = best_of("recursive")
+    frontier_seconds, frontier = best_of("frontier")
+
+    for a, b in zip(recursive.estimators_, frontier.estimators_):
+        assert np.array_equal(a._feature, b._feature)
+        assert np.array_equal(a._threshold, b._threshold)
+        assert np.array_equal(a._counts, b._counts)
+
+    speedup = recursive_seconds / frontier_seconds
+    bench_record.add(
+        "learning",
+        benchmark="frontier_vs_recursive_fit",
+        cells="NAND2+NOR2 SOI28",
+        train_rows=len(X),
+        trees=20,
+        recursive_seconds=round(recursive_seconds, 4),
+        frontier_seconds=round(frontier_seconds, 4),
+        fit_speedup=round(speedup, 2),
+    )
+    print(f"\nfit: recursive {recursive_seconds:.3f}s "
+          f"frontier {frontier_seconds:.3f}s -> {speedup:.2f}x")
+    assert speedup >= 3.0
+
+
+def test_packed_predict_speedup(bench_record, group_data):
+    """Fused multi-tree inference against the per-tree reference loop.
+
+    Hybrid-study shape: a 100-tree forest fitted on the NAND2/NOR2
+    group scoring the held-out cell's rows.  The packed path must be
+    bit-identical and at least 5x faster.
+    """
+    import time
+
+    X, y, X_eval, _ = group_data
+
+    forest = RandomForestClassifier(
+        n_estimators=100, max_features=0.5, random_state=0
+    ).fit(X, y)
+    packed = forest.packed_forest()
+
+    def best_of(fn, rounds=5):
+        best = float("inf")
+        value = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            value = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, value
+
+    loop_seconds, loop_proba = best_of(
+        lambda: _pre_pr_predict_proba(forest, X_eval)
+    )
+    packed_seconds, packed_proba = best_of(
+        lambda: packed.predict_proba(X_eval)
+    )
+
+    assert np.array_equal(loop_proba, packed_proba)
+
+    speedup = loop_seconds / packed_seconds
+    bench_record.add(
+        "learning",
+        benchmark="packed_vs_loop_predict",
+        cells="NAND2+NOR2 SOI28",
+        eval_rows=len(X_eval),
+        trees=100,
+        loop_seconds=round(loop_seconds, 4),
+        packed_seconds=round(packed_seconds, 4),
+        predict_speedup=round(speedup, 2),
+    )
+    print(f"\npredict: loop {loop_seconds*1e3:.1f}ms "
+          f"packed {packed_seconds*1e3:.1f}ms -> {speedup:.2f}x")
+    assert speedup >= 5.0

@@ -2,6 +2,7 @@
 
 from repro.learning.tree import DecisionTreeClassifier
 from repro.learning.forest import RandomForestClassifier
+from repro.learning.engine import PackedForest, candidate_features, grow_frontier
 from repro.learning.knn import KNeighborsClassifier
 from repro.learning.linear import LinearSVC, LogisticRegression, RidgeClassifier
 from repro.learning.metrics import (
@@ -19,7 +20,12 @@ from repro.learning.datasets import (
     stack_group,
 )
 from repro.learning.tuning import TuningResult, grid_search
-from repro.learning.persistence import load_classifier, save_classifier
+from repro.learning.persistence import (
+    load_classifier,
+    load_packed_forest,
+    save_classifier,
+    save_packed_forest,
+)
 from repro.learning.importance import grouped_importance, permutation_importance
 from repro.learning.evaluate import (
     CellEvaluation,
@@ -32,6 +38,9 @@ from repro.learning.evaluate import (
 __all__ = [
     "DecisionTreeClassifier",
     "RandomForestClassifier",
+    "PackedForest",
+    "candidate_features",
+    "grow_frontier",
     "KNeighborsClassifier",
     "RidgeClassifier",
     "LogisticRegression",
@@ -55,6 +64,8 @@ __all__ = [
     "grouped_importance",
     "save_classifier",
     "load_classifier",
+    "save_packed_forest",
+    "load_packed_forest",
     "grid_search",
     "TuningResult",
 ]

@@ -69,10 +69,10 @@ def kind_row_mask(matrix: CAMatrix, kinds: Optional[Set[str]]) -> np.ndarray:
     kind_of = np.array(
         [d.kind in kinds for d in matrix.defects], dtype=bool
     )
-    mask = np.empty(matrix.n_rows, dtype=bool)
-    for row in range(matrix.n_rows):
-        d = matrix.row_defect[row]
-        mask[row] = True if d == FREE_ROW else bool(kind_of[d])
+    row_defect = np.asarray(matrix.row_defect)
+    mask = np.ones(matrix.n_rows, dtype=bool)
+    bound = row_defect != FREE_ROW
+    mask[bound] = kind_of[row_defect[bound]]
     return mask
 
 

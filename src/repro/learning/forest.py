@@ -4,15 +4,57 @@
 Classifiers ... the Forest averages the responses of all Trees and outputs
 the class of the data sample."  Each tree is fitted on a bootstrap sample
 with a random feature subset considered per split.
+
+Throughput knobs (both identity-preserving):
+
+* ``parallelism`` fans tree fitting across a process pool.  Per-tree
+  seeds and bootstrap indices are drawn from the forest generator in
+  exactly the serial order *before* the fan-out, and a fitted tree is a
+  pure function of ``(bootstrap sample, seed)``, so a parallel fit is
+  byte-identical to a serial one.
+* Inference runs through the fused :class:`~repro.learning.engine.PackedForest`
+  by default — one level-synchronous descent over every
+  ``(sample, tree)`` lane instead of a per-tree Python loop — and is
+  bit-for-bit equal to the per-tree path (``predict_proba(packed=False)``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import multiprocessing
+import time
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+from repro.learning.engine import M_FIT_SECONDS, PackedForest
 from repro.learning.tree import DecisionTreeClassifier
+
+#: per-worker fit context installed by the pool initializer, so tree
+#: payloads stay small (seed + bootstrap index, not the matrix)
+_FIT_X: Optional[np.ndarray] = None
+_FIT_Y: Optional[np.ndarray] = None
+_FIT_PARAMS: Optional[Dict[str, object]] = None
+
+
+def _fit_pool_init(
+    X: np.ndarray, y: np.ndarray, params: Dict[str, object]
+) -> None:
+    global _FIT_X, _FIT_Y, _FIT_PARAMS
+    _FIT_X = X
+    _FIT_Y = y
+    _FIT_PARAMS = params
+
+
+def _fit_tree_worker(
+    task: Tuple[int, np.ndarray]
+) -> DecisionTreeClassifier:
+    """Fit one tree on its pre-drawn bootstrap sample and seed."""
+    seed, index = task
+    assert _FIT_X is not None and _FIT_Y is not None
+    assert _FIT_PARAMS is not None
+    tree = DecisionTreeClassifier(random_state=seed, **_FIT_PARAMS)
+    return tree.fit(_FIT_X[index], _FIT_Y[index])
 
 
 class RandomForestClassifier:
@@ -27,6 +69,8 @@ class RandomForestClassifier:
         bootstrap: bool = True,
         max_samples: Optional[float] = None,
         random_state: Optional[int] = None,
+        parallelism: Optional[int] = None,
+        engine: str = "frontier",
     ) -> None:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -35,52 +79,104 @@ class RandomForestClassifier:
         self.bootstrap = bootstrap
         self.max_samples = max_samples
         self.random_state = random_state
+        self.parallelism = parallelism
+        self.engine = engine
         self.estimators_: List[DecisionTreeClassifier] = []
         self.classes_: Optional[np.ndarray] = None
+        self._packed: Optional[PackedForest] = None
+
+    def _tree_params(self) -> Dict[str, object]:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "engine": self.engine,
+        }
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         X = np.asarray(X)
         y = np.asarray(y)
         if len(X) != len(y):
             raise ValueError("X and y are misaligned")
+        started = time.perf_counter()
         rng = np.random.default_rng(self.random_state)
         self.classes_ = np.unique(y)
         self.estimators_ = []
+        self._packed = None
         n = len(X)
         sample_size = n
         if self.max_samples is not None:
             sample_size = max(1, int(self.max_samples * n))
-        for i in range(self.n_estimators):
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=int(rng.integers(0, 2**31 - 1)),
-            )
+        # Seeds and bootstrap indices are drawn in the exact serial
+        # order regardless of how the fitting itself is scheduled.
+        tasks: List[Tuple[int, np.ndarray]] = []
+        for _ in range(self.n_estimators):
+            seed = int(rng.integers(0, 2**31 - 1))
             if self.bootstrap:
                 index = rng.integers(0, n, size=sample_size)
             else:
                 index = np.arange(n)
-            tree.fit(X[index], y[index])
-            self.estimators_.append(tree)
+            tasks.append((seed, index))
+        workers = self.parallelism
+        if workers is not None and workers > 1 and len(tasks) > 1:
+            with multiprocessing.Pool(
+                processes=min(workers, len(tasks)),
+                initializer=_fit_pool_init,
+                initargs=(X, y, self._tree_params()),
+            ) as pool:
+                # map() preserves task order, so estimator order (and
+                # therefore every prediction) matches the serial path.
+                self.estimators_ = pool.map(_fit_tree_worker, tasks)
+        else:
+            for seed, index in tasks:
+                tree = DecisionTreeClassifier(
+                    random_state=seed, **self._tree_params()
+                )
+                self.estimators_.append(tree.fit(X[index], y[index]))
+        obs.metrics().observe(M_FIT_SECONDS, time.perf_counter() - started)
         return self
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+    # ------------------------------------------------------------------
+    def packed_forest(self) -> PackedForest:
+        """The fused inference structure (built lazily, cached per fit)."""
+        if not self.estimators_:
+            raise RuntimeError("classifier is not fitted")
+        if self._packed is None:
+            self._packed = PackedForest.from_forest(self)
+        return self._packed
+
+    def predict_proba(
+        self, X: np.ndarray, *, packed: bool = True
+    ) -> np.ndarray:
         if not self.estimators_:
             raise RuntimeError("classifier is not fitted")
         X = np.asarray(X)
+        if packed:
+            return self.packed_forest().predict_proba(X)
+        assert self.classes_ is not None
         accumulated = np.zeros((len(X), len(self.classes_)))
         for tree in self.estimators_:
             proba = tree.predict_proba(X)
             # align tree classes (a bootstrap can miss a class entirely)
-            for j, cls in enumerate(tree.classes_):
-                k = int(np.searchsorted(self.classes_, cls))
-                accumulated[:, k] += proba[:, j]
+            columns = np.searchsorted(self.classes_, tree.classes_)
+            accumulated[:, columns] += proba
         return accumulated / len(self.estimators_)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         proba = self.predict_proba(X)
+        assert self.classes_ is not None
         return self.classes_[np.argmax(proba, axis=1)]
+
+    def vote_dispersion(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample tree disagreement (0 = unanimous) — the
+        confidence signal for uncertainty-gated routing."""
+        return self.packed_forest().vote_dispersion(np.asarray(X))
+
+    def predict_with_dispersion(
+        self, X: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(labels, vote dispersion) from one fused descent."""
+        return self.packed_forest().predict_with_dispersion(np.asarray(X))
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Mean accuracy, scikit-learn style."""

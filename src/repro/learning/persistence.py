@@ -16,6 +16,7 @@ from typing import Dict, Union
 
 import numpy as np
 
+from repro.learning.engine import PackedForest
 from repro.learning.forest import RandomForestClassifier
 from repro.learning.tree import DecisionTreeClassifier, _Node
 
@@ -99,6 +100,58 @@ def forest_from_dict(data: Dict) -> RandomForestClassifier:
     forest.classes_ = np.array(data["classes"])
     forest.estimators_ = [tree_from_dict(t) for t in data["estimators"]]
     return forest
+
+
+def packed_forest_to_dict(packed: PackedForest) -> Dict:
+    """Serialize a :class:`PackedForest` (the fused inference table)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "packed_forest",
+        "classes": packed.classes_.tolist(),
+        "n_estimators": packed.n_estimators,
+        "offsets": packed.offsets.tolist(),
+        "feature": packed.feature.tolist(),
+        "threshold": packed.threshold.tolist(),
+        "left": packed.left.tolist(),
+        "right": packed.right.tolist(),
+        "leaf_proba": packed.leaf_proba.tolist(),
+        "leaf_vote": packed.leaf_vote.tolist(),
+    }
+
+
+def packed_forest_from_dict(data: Dict) -> PackedForest:
+    if data.get("kind") != "packed_forest":
+        raise ValueError(f"not a packed forest payload: {data.get('kind')!r}")
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format {data.get('format')!r}")
+    return PackedForest(
+        classes_=np.array(data["classes"]),
+        n_estimators=int(data["n_estimators"]),
+        offsets=np.array(data["offsets"], dtype=np.int64),
+        feature=np.array(data["feature"], dtype=np.int64),
+        threshold=np.array(data["threshold"], dtype=np.float64),
+        left=np.array(data["left"], dtype=np.int64),
+        right=np.array(data["right"], dtype=np.int64),
+        leaf_proba=np.array(data["leaf_proba"], dtype=np.float64).reshape(
+            len(data["feature"]), len(data["classes"])
+        ),
+        leaf_vote=np.array(data["leaf_vote"], dtype=np.int64),
+    )
+
+
+def save_packed_forest(
+    packed: PackedForest, path: Union[str, Path]
+) -> Path:
+    """Write a packed forest to JSON (inference without retraining)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(packed_forest_to_dict(packed)))
+    return path
+
+
+def load_packed_forest(path: Union[str, Path]) -> PackedForest:
+    """Read a packed forest written by :func:`save_packed_forest`."""
+    return packed_forest_from_dict(json.loads(Path(path).read_text()))
 
 
 def save_classifier(

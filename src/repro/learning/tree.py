@@ -5,6 +5,21 @@ estimators are re-implemented.  The tree exploits a property of the
 CA-matrix: every feature is a small integer code, so exhaustive split
 search per feature is a bincount away and splits are exact.
 
+Two growth engines produce **node-for-node identical** trees:
+
+* ``engine="frontier"`` (default) — the level-synchronous builder of
+  :func:`repro.learning.engine.grow_frontier`: one flat histogram pass
+  per level over the whole frontier of open nodes, no recursion (deep
+  chain-shaped trees cannot hit the recursion limit).
+* ``engine="recursive"`` — the original depth-first reference, kept as
+  the oracle for the differential suite in
+  ``tests/test_learning_engine.py``.
+
+Both draw each node's candidate-feature subset from a per-node
+generator keyed on the node's heap path
+(:func:`repro.learning.engine.candidate_features`), so the trees they
+grow do not depend on traversal order.
+
 The API follows the scikit-learn conventions the paper's flow relies on:
 ``fit(X, y)`` / ``predict(X)`` / ``predict_proba(X)``.
 """
@@ -15,6 +30,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
+
+from repro.learning.engine import candidate_features, grow_frontier
+
+GROWTH_ENGINES = ("frontier", "recursive")
 
 
 @dataclass
@@ -41,12 +60,21 @@ class DecisionTreeClassifier:
         min_samples_leaf: int = 1,
         max_features: Optional[object] = None,
         random_state: Optional[int] = None,
+        engine: str = "frontier",
     ) -> None:
+        if engine not in GROWTH_ENGINES:
+            raise ValueError(
+                f"unknown growth engine {engine!r}; expected one of "
+                f"{', '.join(GROWTH_ENGINES)}"
+            )
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.random_state = random_state
+        self.engine = engine
         self._nodes: List[_Node] = []
         self.classes_: Optional[np.ndarray] = None
         self.n_features_: int = 0
@@ -61,10 +89,36 @@ class DecisionTreeClassifier:
             raise ValueError("cannot fit on an empty dataset")
         self.classes_, encoded = np.unique(y, return_inverse=True)
         self.n_features_ = X.shape[1]
-        self._rng = np.random.default_rng(self.random_state)
         self._n_classes = len(self.classes_)
-        self._nodes = []
-        self._grow(X, encoded.astype(np.int64), np.arange(len(y)), depth=0)
+        # One draw turns ``random_state`` into the base entropy every
+        # per-node candidate draw derives from (None stays entropic).
+        seed_rng = np.random.default_rng(self.random_state)
+        self._base_seed = int(seed_rng.integers(0, 2**63 - 1))
+        labels = encoded.astype(np.int64)
+        if self.engine == "recursive":
+            self._nodes = []
+            self._grow(X, labels, np.arange(len(y)), depth=0, path_key=1)
+        else:
+            records = grow_frontier(
+                X,
+                labels,
+                self._n_classes,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                n_candidates=self._n_candidate_features(),
+                base_seed=self._base_seed,
+            )
+            self._nodes = [
+                _Node(
+                    feature=feature,
+                    threshold=threshold,
+                    left=left,
+                    right=right,
+                    counts=counts,
+                )
+                for feature, threshold, left, right, counts in records
+            ]
         self._pack()
         return self
 
@@ -89,7 +143,12 @@ class DecisionTreeClassifier:
         return min(self.n_features_, int(self.max_features))
 
     def _grow(
-        self, X: np.ndarray, y: np.ndarray, index: np.ndarray, depth: int
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        index: np.ndarray,
+        depth: int,
+        path_key: int = 1,
     ) -> int:
         node_id = len(self._nodes)
         node = _Node()
@@ -105,7 +164,7 @@ class DecisionTreeClassifier:
         ):
             return node_id
 
-        split = self._best_split(X, y, index)
+        split = self._best_split(X, y, index, path_key)
         if split is None:
             return node_id
         feature, threshold = split
@@ -116,21 +175,21 @@ class DecisionTreeClassifier:
             return node_id
         node.feature = feature
         node.threshold = threshold
-        node.left = self._grow(X, y, left_index, depth + 1)
-        node.right = self._grow(X, y, right_index, depth + 1)
+        node.left = self._grow(X, y, left_index, depth + 1, 2 * path_key)
+        node.right = self._grow(X, y, right_index, depth + 1, 2 * path_key + 1)
         return node_id
 
     def _best_split(
-        self, X: np.ndarray, y: np.ndarray, index: np.ndarray
+        self, X: np.ndarray, y: np.ndarray, index: np.ndarray, path_key: int
     ) -> Optional[Tuple[int, float]]:
         n = len(index)
         labels = y[index]
-        if self._n_candidate_features() >= self.n_features_:
-            candidates = np.arange(self.n_features_)
-        else:
-            candidates = self._rng.choice(
-                self.n_features_, size=self._n_candidate_features(), replace=False
-            )
+        candidates = candidate_features(
+            self._base_seed,
+            path_key,
+            self.n_features_,
+            self._n_candidate_features(),
+        )
         best_score = np.inf
         best: Optional[Tuple[int, float]] = None
         min_leaf = self.min_samples_leaf

@@ -14,8 +14,9 @@ the copy against rot: every ``M_*`` constant in
 :mod:`repro.camodel.stats`, :mod:`repro.resilience.runner`,
 :mod:`repro.simulation.engine`, :mod:`repro.simulation.phasecache`,
 :mod:`repro.simulation.packed`, :mod:`repro.camodel.planstore`,
-:mod:`repro.camodel.throughput`, :mod:`repro.obs.store` and
-:mod:`repro.obs.inspect` must appear in :data:`METRIC_NAMES`, and
+:mod:`repro.camodel.throughput`, :mod:`repro.obs.store`,
+:mod:`repro.obs.inspect` and :mod:`repro.learning.engine` must appear
+in :data:`METRIC_NAMES`, and
 every ``E_*`` constant in :mod:`repro.obs.trace` / :mod:`repro.obs.store`
 in :data:`EVENT_NAMES`.
 
@@ -45,6 +46,7 @@ NAMESPACES: FrozenSet[str] = frozenset(
         "obs",
         "inspect",
         "watch",
+        "learning",
     }
 )
 
@@ -92,6 +94,10 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         # inspect / watch CLI (repro.obs.inspect)
         "inspect.reports",
         "watch.refreshes",
+        # frontier-batched forest engine (repro.learning.engine)
+        "learning.fit.seconds",
+        "learning.frontier_nodes",
+        "learning.packed_lanes",
     }
 )
 

@@ -159,6 +159,67 @@ class TestRandomForest:
         with pytest.raises(RuntimeError):
             RandomForestClassifier().predict_proba(np.zeros((1, 2)))
 
+    def test_loop_path_matches_packed_default(self):
+        X, y = _separable()
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert np.array_equal(
+            forest.predict_proba(X[:100]),
+            forest.predict_proba(X[:100], packed=False),
+        )
+
+    def test_engine_knob_forwarded_to_trees(self):
+        X, y = _separable(200)
+        forest = RandomForestClassifier(
+            n_estimators=2, random_state=0, engine="recursive"
+        ).fit(X, y)
+        assert all(t.engine == "recursive" for t in forest.estimators_)
+
+    def test_dispersion_shape(self):
+        X, y = _separable(200)
+        forest = RandomForestClassifier(n_estimators=4, random_state=0).fit(X, y)
+        labels, dispersion = forest.predict_with_dispersion(X[:17])
+        assert labels.shape == dispersion.shape == (17,)
+
+
+class TestKindRowMask:
+    def _matrix(self, seed=0, n_defects=9):
+        """A minimal stand-in exposing the fields kind_row_mask reads."""
+        from types import SimpleNamespace
+
+        from repro.camatrix.matrix import FREE_ROW
+
+        rng = np.random.default_rng(seed)
+        defects = [
+            SimpleNamespace(kind=rng.choice(["open", "short"]))
+            for _ in range(n_defects)
+        ]
+        row_defect = rng.integers(-1, n_defects, size=40)
+        row_defect[row_defect == -1] = FREE_ROW
+        return SimpleNamespace(
+            n_rows=40, defects=defects, row_defect=row_defect
+        )
+
+    @pytest.mark.parametrize("kinds", [None, {"open"}, {"short"}, set()])
+    def test_matches_scalar_reference(self, kinds):
+        from repro.camatrix.matrix import FREE_ROW
+        from repro.learning import kind_row_mask
+
+        matrix = self._matrix()
+        mask = kind_row_mask(matrix, kinds)
+        for row in range(matrix.n_rows):
+            d = matrix.row_defect[row]
+            if kinds is None or d == FREE_ROW:
+                assert mask[row]
+            else:
+                assert mask[row] == (matrix.defects[d].kind in kinds)
+
+    def test_no_defects(self):
+        from repro.learning import kind_row_mask
+
+        matrix = self._matrix(n_defects=0)
+        matrix.row_defect[:] = -1
+        assert kind_row_mask(matrix, {"open"}).all()
+
 
 class TestKNN:
     def test_memorizes_training_data(self):

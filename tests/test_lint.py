@@ -334,6 +334,7 @@ def test_catalog_matches_defining_modules():
     import repro.camodel.planstore as planstore
     import repro.camodel.stats as stats
     import repro.camodel.throughput as throughput
+    import repro.learning.engine as learning_engine
     import repro.obs.inspect as obs_inspect
     import repro.obs.store as obs_store
     import repro.obs.trace as obs_trace
@@ -345,7 +346,7 @@ def test_catalog_matches_defining_modules():
 
     modules = (
         stats, runner, engine, phasecache, planstore, throughput,
-        packed, obs_store, obs_inspect, obs_trace,
+        packed, obs_store, obs_inspect, obs_trace, learning_engine,
     )
     for module in modules:
         for attr in dir(module):
