@@ -146,6 +146,7 @@ def generate_library(
     retry_backoff: float = 0.1,
     fault_plan: Optional[FaultPlan] = None,
     output: Optional[Union[str, Path]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, CAModel]:
     """Characterize many cells, optionally in parallel.
 
@@ -169,7 +170,12 @@ def generate_library(
     returned is then the (possibly partial) set of completed models.
     ``fault_plan`` and ``output`` are likewise run-dir options, forwarded
     verbatim; passing any run-dir-only option *without* ``run_dir`` is an
-    error (it used to be silently ignored).
+    error (it used to be silently ignored).  ``workers`` (also run-dir
+    only) routes through the leased coordinator/worker service instead
+    (:mod:`repro.service`): ``workers=N`` submits the job and spawns N
+    stateless worker processes coordinating purely through the run
+    directory — models, ``failures.json`` and ``metrics_total()`` stay
+    byte-identical to the sequential runner's.
 
     ``packed=True`` solves through the cross-topology packed kernel: the
     inline path routes whole libraries through
@@ -187,6 +193,7 @@ def generate_library(
             "retry_backoff": (retry_backoff, 0.1),
             "fault_plan": (fault_plan, None),
             "output": (output, None),
+            "workers": (workers, None),
         }
         offending = sorted(
             option
@@ -198,6 +205,38 @@ def generate_library(
                 f"{', '.join(offending)} require(s) run_dir=... — these "
                 "options only apply to the checkpointed resilient runner"
             )
+    elif workers is not None:
+        # Leased coordinator/worker service: N stateless worker processes
+        # drain the run directory, one coordinator owns the ledger.
+        # Byte-identical to the run_library path below (the chaos suite
+        # enforces it); cell_timeout is a sequential-runner-only knob.
+        if cell_timeout is not None:
+            raise ValueError(
+                "cell_timeout is not supported by the worker service "
+                "(leases have no per-cell wall clock); use processes=... "
+                "instead of workers=..."
+            )
+        from repro.service import serve, submit_library
+
+        submit_library(
+            cells,
+            run_dir=run_dir,
+            policy=policy,
+            resume=resume,
+            retries=retries,
+            fault_plan=fault_plan,
+            params=params,
+            universe=universe,
+            delay_detection=delay_detection,
+            slow_factor=slow_factor,
+            parallelism=parallelism,
+            batched=batched,
+            packed=packed,
+            phase_cache=phase_cache,
+        )
+        return serve(
+            run_dir, workers=workers, resume=resume, output=output
+        ).models
     else:
         from repro.resilience.runner import run_library
 

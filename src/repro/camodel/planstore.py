@@ -29,8 +29,9 @@ copy.  Reuse is observable as the ``throughput.plan_reuse`` counter.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import asdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import obs
 from repro.camodel.stimuli import Word, stimuli as make_stimuli
@@ -136,3 +137,26 @@ _STORE = PlanStore()
 def plan_store() -> PlanStore:
     """The process-local :class:`PlanStore` singleton."""
     return _STORE
+
+
+@contextmanager
+def fresh_store() -> Iterator[PlanStore]:
+    """Swap in an empty store for the duration of one replayed attempt.
+
+    Counter identity across execution environments: a cell attempt
+    replayed inside a long-lived service worker
+    (:mod:`repro.service.worker`) must record exactly the counters a
+    one-process-per-attempt run (:mod:`repro.resilience.runner`)
+    records, or ``RunLedger.metrics_total()`` would diverge between an
+    N-worker run and a sequential one.  A warm singleton would add
+    ``throughput.plan_reuse`` hits the cold-process baseline never
+    sees, so the worker runs each attempt against a fresh store and
+    restores the previous one afterwards.
+    """
+    global _STORE
+    previous = _STORE
+    _STORE = PlanStore()
+    try:
+        yield _STORE
+    finally:
+        _STORE = previous

@@ -199,6 +199,78 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Coordinate a leased multi-worker characterization of a run dir."""
+    from repro.resilience import FaultPlan, RunDirError
+    from repro.service import Job, serve, submit_library
+
+    try:
+        if args.netlist:
+            cells = _load_cells(args.netlist)
+            fault_plan = FaultPlan.load(args.faults) if args.faults else None
+            job = submit_library(
+                cells,
+                run_dir=args.run_dir,
+                policy=args.policy,
+                resume=args.resume,
+                retries=args.retries,
+                lease_ttl=args.lease_ttl,
+                fault_plan=fault_plan,
+                parallelism=args.parallelism,
+                batched=not args.scalar,
+                packed=args.packed,
+                phase_cache=args.phase_cache,
+            )
+        else:
+            job = Job.attach(args.run_dir)
+        result = serve(
+            args.run_dir,
+            workers=args.workers,
+            resume=args.resume,
+            output=args.output,
+        )
+    except RunDirError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    names = job.manifest.names()
+    resumed = set(result.resumed)
+    for name in names:
+        if name in result.models:
+            tag = " (resumed)" if name in resumed else ""
+            print(f"{name}: {result.models[name].summary()}{tag}")
+        else:
+            errors = result.quarantined.get(name, [])
+            kind = errors[-1].get("kind", "?") if errors else "?"
+            print(f"{name}: QUARANTINED ({kind}, {len(errors)} attempts)")
+    counts = result.report["counts"]
+    print(
+        f"done {counts['done']}/{len(names)} "
+        f"(resumed {len(result.resumed)}, quarantined {counts['quarantined']})"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    if result.quarantined:
+        print(f"failure report: {result.run_dir / 'failures.json'}")
+        return 3
+    return 0
+
+
+def cmd_worker(args) -> int:
+    """Run one stateless leased worker against a submitted run directory."""
+    from repro.resilience import RunDirError
+    from repro.service import worker_loop
+
+    try:
+        completed = worker_loop(
+            args.run_dir, owner=args.owner, max_cells=args.max_cells
+        )
+    except RunDirError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker exit: committed {completed} cell(s)")
+    return 0
+
+
 def cmd_inspect(args) -> int:
     """Render one analysis report over a run directory's telemetry."""
     from repro.obs import inspect as obs_inspect
@@ -219,6 +291,8 @@ def cmd_inspect(args) -> int:
         print(obs_inspect.report_cache(tel))
     elif args.report == "failures":
         print(obs_inspect.report_failures(tel))
+    elif args.report == "workers":
+        print(obs_inspect.report_workers(tel))
     else:  # trace
         out = args.chrome or str(Path(args.run_dir) / "trace.json")
         tel.write_chrome(out)
@@ -508,6 +582,103 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
+        "serve",
+        help="coordinator + leased workers over a shared run directory",
+        parents=[obs_parent],
+    )
+    p.add_argument(
+        "run_dir",
+        help="run directory shared by the coordinator and every worker",
+    )
+    p.add_argument(
+        "--netlist",
+        default=None,
+        help="SPICE library to submit into RUN_DIR first (omit to serve "
+        "an already-submitted job.json)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="local worker processes to spawn (0: coordinate external "
+        "`repro worker RUN_DIR` processes only; default 2)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previous run (requeues quarantined cells with a "
+        "fresh retry budget; exits 3 if quarantined cells remain)",
+    )
+    p.add_argument("-o", "--output", help="write the assembled library JSON")
+    p.add_argument("--policy", default="auto")
+    p.add_argument(
+        "-j",
+        "--parallelism",
+        type=int,
+        default=None,
+        help="worker processes for the per-defect loop inside each cell",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="failed attempts allowed per cell before quarantine (default 1)",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=15.0,
+        help="seconds a cell lease survives without a heartbeat before "
+        "the coordinator re-leases it (default 15)",
+    )
+    p.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help="inject a deterministic FaultPlan (chaos testing; `hang` "
+        "mode is unsupported under the service — see docs/resilience.md)",
+    )
+    p.add_argument(
+        "--scalar", action="store_true", help="force the scalar solver"
+    )
+    p.add_argument(
+        "--packed",
+        action="store_true",
+        help="solve through the packed multi-topology kernel",
+    )
+    p.add_argument(
+        "--phase-cache",
+        metavar="DIR",
+        default=None,
+        help="directory persisting solved phases across runs and retries",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="one stateless leased worker (join a served run directory)",
+        parents=[obs_parent],
+    )
+    p.add_argument(
+        "run_dir",
+        help="run directory holding a submitted job.json (possibly on a "
+        "shared filesystem; see docs/resilience.md for the multi-machine "
+        "recipe)",
+    )
+    p.add_argument(
+        "--owner",
+        default=None,
+        help="lease owner id (default: pid-derived, unique per process)",
+    )
+    p.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="exit after committing N cells (default: run until the job "
+        "completes)",
+    )
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
         "inspect",
         help="analyze a run directory's telemetry store",
         parents=[obs_parent],
@@ -517,7 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         nargs="?",
         default="summary",
-        choices=["summary", "stragglers", "cache", "failures", "trace"],
+        choices=["summary", "stragglers", "cache", "failures", "workers", "trace"],
         help="subreport to render (default: summary)",
     )
     p.add_argument(

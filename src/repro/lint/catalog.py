@@ -15,8 +15,8 @@ the copy against rot: every ``M_*`` constant in
 :mod:`repro.simulation.engine`, :mod:`repro.simulation.phasecache`,
 :mod:`repro.simulation.packed`, :mod:`repro.camodel.planstore`,
 :mod:`repro.camodel.throughput`, :mod:`repro.obs.store`,
-:mod:`repro.obs.inspect` and :mod:`repro.learning.engine` must appear
-in :data:`METRIC_NAMES`, and
+:mod:`repro.obs.inspect`, :mod:`repro.learning.engine` and the
+:mod:`repro.service` modules must appear in :data:`METRIC_NAMES`, and
 every ``E_*`` constant in :mod:`repro.obs.trace` / :mod:`repro.obs.store`
 in :data:`EVENT_NAMES`.
 
@@ -47,6 +47,8 @@ NAMESPACES: FrozenSet[str] = frozenset(
         "inspect",
         "watch",
         "learning",
+        "service",
+        "lease",
     }
 )
 
@@ -98,6 +100,20 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "learning.fit.seconds",
         "learning.frontier_nodes",
         "learning.packed_lanes",
+        # per-cell lease files of the worker service (repro.service.lease)
+        "lease.claims",
+        "lease.conflicts",
+        "lease.heartbeats",
+        "lease.lost",
+        "lease.releases",
+        "lease.reaped",
+        # coordinator/worker characterization service (repro.service)
+        "service.cells",
+        "service.failures",
+        "service.commits",
+        "service.commit_races",
+        "service.discards",
+        "service.workers_spawned",
     }
 )
 
@@ -127,6 +143,13 @@ EVENT_NAMES: FrozenSet[str] = frozenset(
         "trace.orphan_spans",
         # durable run-telemetry store (repro.obs.store)
         "obs.shard_corrupt",
+        # coordinator/worker characterization service (repro.service)
+        "lease.expired",
+        "service.submit",
+        "service.serve",
+        "service.worker_start",
+        "service.worker_exit",
+        "service.discard",
     }
 )
 

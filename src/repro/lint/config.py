@@ -89,11 +89,13 @@ class LintConfig:
         "*/camodel/io.py",
         "*/experiments/cache.py",
         "*/obs/store.py",
+        "*/service/*",
     )
     #: the sanctioned atomic writer implementations
     atomic_writers: Tuple[str, ...] = (
         "*/camodel/io.py::_write_json_atomic",
         "*/obs/store.py::_atomic_write",
+        "*/service/lease.py::_atomic_write",
     )
 
     # -- RPL007 payload-open-handles -------------------------------------

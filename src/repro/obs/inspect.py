@@ -171,6 +171,53 @@ def report_cache(tel: RunTelemetry) -> str:
     return "\n".join(lines)
 
 
+def report_workers(tel: RunTelemetry) -> str:
+    """Per-worker view of a service run (``repro inspect RUN_DIR workers``).
+
+    Joins the service worker shards
+    (:func:`repro.obs.store.write_worker_shard`) with the ledger: who
+    committed which cells, each worker's lease traffic, and the run's
+    aggregate claim/conflict/reap counters — the reconciled
+    multi-worker view the chaos suite asserts over.
+    """
+    lines = [f"service workers for {tel.run_dir}"]
+    if not tel.workers:
+        lines.append("no worker shards recorded (sequential run?)")
+        return "\n".join(lines)
+    lines.append(
+        f"{'owner':<16} {'pid':>7} {'cells':>5} {'wall[s]':>8} "
+        f"{'claims':>6} {'beats':>6}  committed"
+    )
+    for shard in tel.workers:
+        counters = {
+            k: float(v) for k, v in shard.get("counters", {}).items()
+        }
+        cells = [str(c) for c in shard.get("cells", [])]
+        lines.append(
+            f"{str(shard['owner']):<16} {int(shard['pid']):>7} "
+            f"{len(cells):>5} {_fmt_seconds(float(shard.get('seconds', 0.0)))} "
+            f"{counters.get('lease.claims', 0.0):>6g} "
+            f"{counters.get('lease.heartbeats', 0.0):>6g}  "
+            + (", ".join(cells) if cells else "-")
+        )
+    total = tel.worker_counters()
+    lines.append(
+        "lease traffic      : "
+        f"{total.get('lease.claims', 0.0):g} claims, "
+        f"{total.get('lease.conflicts', 0.0):g} conflicts, "
+        f"{total.get('lease.lost', 0.0):g} lost, "
+        f"{total.get('service.discards', 0.0):g} discarded attempts"
+    )
+    done = sum(
+        1 for r in tel.ledger.cells.values() if r["state"] == "done"
+    )
+    committed = sum(len(shard.get("cells", [])) for shard in tel.workers)
+    lines.append(
+        f"cells committed    : {committed} by workers, {done} done in ledger"
+    )
+    return "\n".join(lines)
+
+
 def report_failures(tel: RunTelemetry) -> str:
     """Retry / quarantine timeline joined with the failed-attempt shards."""
     failed_shards = {

@@ -117,6 +117,51 @@ def write_attempt_shard(
     return path
 
 
+def write_worker_shard(
+    path: Union[str, Path],
+    *,
+    owner: str,
+    pid: int,
+    started: float,
+    seconds: float,
+    cells: Sequence[str],
+    counters: Mapping[str, float],
+    spans: Sequence[Mapping[str, object]],
+    events: Sequence[Mapping[str, object]],
+) -> Path:
+    """Atomically persist one service worker's lifetime telemetry.
+
+    A worker shard is the service-mode sibling of a session shard: one
+    per :func:`repro.service.worker.worker_loop` process, carrying the
+    worker's process-level counters (lease traffic, cells committed —
+    attempt-scoped generation counters flow through the sidecars and the
+    ledger instead, exactly as in a sequential run) and its buffered
+    event stream, so ``python -m repro inspect RUN_DIR workers`` can
+    reconstruct who did what after every process is gone.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(
+        path,
+        {
+            "format": OBS_FORMAT,
+            "kind": "worker",
+            "owner": owner,
+            "pid": int(pid),
+            "started": float(started),
+            "seconds": float(seconds),
+            "cells": list(cells),
+            "counters": dict(counters),
+            "spans": [dict(span) for span in spans],
+            "events": [dict(event) for event in events],
+        },
+    )
+    from repro import obs
+
+    obs.metrics().inc(M_SHARDS_WRITTEN)
+    return path
+
+
 class ObsStore:
     """Writer-side handle on a run directory's ``obs/`` shard store."""
 
@@ -131,6 +176,14 @@ class ObsStore:
 
     def has_attempt(self, cell: str, key: str, attempt: int) -> bool:
         return self.attempt_shard_path(cell, key, attempt).exists()
+
+    def worker_shard_path(self, owner: str) -> Path:
+        """Shard path for one service worker's lifetime telemetry.
+
+        Owner ids are pid-derived (unique per worker process per run),
+        so the path never collides and a scan is race-free.
+        """
+        return self.obs_dir / f"worker-{owner}.json"
 
     # ------------------------------------------------------------------
     def next_session_path(self) -> Path:
@@ -199,6 +252,7 @@ class RunTelemetry:
         ledger,
         attempts: List[Dict[str, object]],
         sessions: List[Dict[str, object]],
+        workers: Optional[List[Dict[str, object]]] = None,
     ) -> None:
         self.run_dir = run_dir
         self.ledger = ledger
@@ -206,6 +260,8 @@ class RunTelemetry:
         self.attempts = attempts
         #: every session shard, sorted by start time
         self.sessions = sessions
+        #: every service worker shard, sorted by start time
+        self.workers = workers if workers is not None else []
 
     # ------------------------------------------------------------------
     @classmethod
@@ -219,6 +275,7 @@ class RunTelemetry:
         ledger = RunLedger.load(run_dir)
         attempts: List[Dict[str, object]] = []
         sessions: List[Dict[str, object]] = []
+        workers: List[Dict[str, object]] = []
         obs_dir = run_dir / "obs"
         shard_paths = sorted(obs_dir.glob("*.json")) if obs_dir.is_dir() else []
         for path in shard_paths:
@@ -246,10 +303,15 @@ class RunTelemetry:
                 attempts.append(data)
             elif data["kind"] == "session":
                 sessions.append(data)
+            elif data["kind"] == "worker":
+                workers.append(data)
         attempts.sort(key=lambda a: (str(a["cell"]), int(a["attempt"])))
         sessions.sort(key=lambda s: float(s["started"]))
-        obs.metrics().inc(M_SHARDS_READ, len(attempts) + len(sessions))
-        return cls(run_dir, ledger, attempts, sessions)
+        workers.sort(key=lambda w: (float(w["started"]), str(w["owner"])))
+        obs.metrics().inc(
+            M_SHARDS_READ, len(attempts) + len(sessions) + len(workers)
+        )
+        return cls(run_dir, ledger, attempts, sessions, workers)
 
     # ------------------------------------------------------------------
     def attempts_for(self, cell: str) -> List[Dict[str, object]]:
@@ -321,10 +383,25 @@ class RunTelemetry:
     def merged_events(self) -> List[Dict[str, object]]:
         """Every event of every shard, ordered by wall-clock time."""
         events: List[Dict[str, object]] = []
-        for shard in self.sessions + self.attempts:
+        for shard in self.sessions + self.attempts + self.workers:
             events.extend(shard.get("events", []))
         events.sort(key=lambda e: float(e.get("time", 0.0)))
         return events
+
+    def worker_counters(self) -> Dict[str, float]:
+        """Process-level counters summed across service worker shards.
+
+        Lease and service traffic only — attempt-scoped generation
+        counters are deliberately absent (they flow through the sidecars
+        into the ledger, the single source of truth
+        :meth:`reconcile` checks), so these never overlap
+        :meth:`counters_by_cell`.
+        """
+        total: Dict[str, float] = {}
+        for shard in self.workers:
+            for name, value in shard.get("counters", {}).items():
+                total[name] = total.get(name, 0.0) + float(value)
+        return total
 
     def counters_by_cell(self) -> Dict[str, Dict[str, float]]:
         """Per-done-cell counters, straight from the ledger.

@@ -200,6 +200,36 @@ def plan_from_payload(data: Optional[Dict[str, object]]) -> Optional[FaultPlan]:
     return None if data is None else FaultPlan.from_dict(data)
 
 
+def enact_artifact_fault(
+    rule: FaultRule,
+    artifact: Path,
+    data: Dict[str, object],
+    cell: str,
+) -> None:
+    """Carry out an ``artifact.write``-site fault; exits when one fires.
+
+    Shared by the per-attempt worker of :mod:`repro.resilience.runner`
+    and the leased worker of :mod:`repro.service.worker`, so both
+    execution environments tear checkpoints in exactly the same way:
+
+    * ``corrupt-artifact`` — a valid-looking path with unparseable
+      content, written *without* the atomic rename (this fault exists to
+      violate the write discipline), then a clean exit: the recovering
+      parent must detect the corruption itself.
+    * ``midwrite-kill`` — a torn same-directory temp file and a hard
+      exit before any rename, mimicking SIGKILL mid-write: the parent
+      must see a crash and no artifact.
+    """
+    if rule.mode == "corrupt-artifact":
+        artifact.write_text('{"format": 1, "cell": "' + cell)  # reprolint: disable=RPL005
+        os._exit(0)
+    if rule.mode == "midwrite-kill":
+        stray = artifact.parent / f".{artifact.name}.partial.tmp"
+        # Deliberately torn temp file (simulated mid-write SIGKILL).
+        stray.write_text(json.dumps(data)[: max(1, len(cell))])  # reprolint: disable=RPL005
+        os._exit(MIDWRITE_EXIT)
+
+
 def _sequence_rules(
     scripts: Dict[str, Sequence[str]], mode_map: Optional[Dict[str, str]] = None
 ) -> "FaultPlan":

@@ -210,12 +210,23 @@ class RunLedger:
     def state(self, name: str) -> str:
         return str(self.cells[name]["state"])
 
-    def mark_running(self, name: str) -> int:
-        """Record an attempt start; returns the 0-based attempt index."""
+    def mark_running(self, name: str, attempt: Optional[int] = None) -> int:
+        """Record an attempt start; returns the 0-based attempt index.
+
+        *attempt* pins the lifetime index when the caller learned it out
+        of band (the service coordinator observes a worker's lease after
+        the worker already chose its index): the attempt count is floored
+        to ``attempt + 1`` instead of blindly incremented, so a
+        coordinator that polls a lease twice never inflates the count.
+        """
         record = self.cells[name]
-        attempt = int(record["attempts"])
+        if attempt is None:
+            attempt = int(record["attempts"])
+            record["attempts"] = attempt + 1
+        else:
+            attempt = int(attempt)
+            record["attempts"] = max(int(record["attempts"]), attempt + 1)
         record["state"] = RUNNING
-        record["attempts"] = attempt + 1
         self.save()
         return attempt
 

@@ -232,19 +232,9 @@ def _cell_worker(payload: Dict[str, object]) -> None:
         data = canonical_model_dict(model)
         artifact = Path(payload["artifact"])
         rule = faults.fire(faults.SITE_ARTIFACT_WRITE)
-        if rule is not None and rule.mode == "corrupt-artifact":
-            # A bit-flipped / truncated checkpoint: valid-looking path,
-            # unparseable content, written *without* the atomic rename —
-            # this fault injection exists to violate the write discipline.
-            artifact.write_text('{"format": 1, "cell": "' + name)  # reprolint: disable=RPL005
-            os._exit(0)
-        if rule is not None and rule.mode == "midwrite-kill":
-            # Killed mid-write: the temp file exists, the rename never
-            # happened.  The parent must see a crash and no artifact.
-            stray = artifact.parent / f".{artifact.name}.partial.tmp"
-            # Deliberately torn temp file (simulated mid-write SIGKILL).
-            stray.write_text(json.dumps(data)[: max(1, len(name))])  # reprolint: disable=RPL005
-            os._exit(faults.MIDWRITE_EXIT)
+        if rule is not None:
+            # Torn/corrupt checkpoint faults exit the process inside.
+            faults.enact_artifact_fault(rule, artifact, data, name)
         _write_json_atomic(artifact, data)
         _write_json_atomic(
             Path(payload["sidecar"]),
@@ -312,6 +302,66 @@ def _classify_failure(
     else:
         detail = f"exit code {exitcode}"
     return {"kind": "crash", "error": f"worker died without a result ({detail})"}
+
+
+def read_sidecar(
+    ledger: RunLedger, name: str
+) -> Tuple[float, Dict[str, float], List[Dict[str, object]]]:
+    """(seconds, counters, spans) from a cell's obs sidecar, if readable.
+
+    The sidecar is the worker-side record of a successful attempt; both
+    the sequential parent and the service coordinator consume it at the
+    ``done`` transition, so the per-cell counters that feed
+    ``metrics_total()`` come from one reader regardless of who ran the
+    cell.  Missing or torn sidecars degrade to zeros, never raise.
+    """
+    sidecar = ledger.sidecar_path(name)
+    if sidecar.exists():
+        try:
+            side = json.loads(sidecar.read_text())
+            return (
+                float(side.get("seconds", 0.0)),
+                {k: float(v) for k, v in side.get("counters", {}).items()},
+                list(side.get("spans", [])),
+            )
+        except (ValueError, json.JSONDecodeError):
+            pass
+    return 0.0, {}, []
+
+
+def assemble_run_result(
+    ledger: RunLedger,
+    names: Sequence[str],
+    result: RunResult,
+    output: Optional[Union[str, Path]] = None,
+) -> List[Dict[str, object]]:
+    """Fill *result* from the checkpoints; returns the artifact dicts.
+
+    Shared tail of a sequential run and a coordinated service run: the
+    models, quarantine records, aggregate counters, failure report and
+    (optional) assembled library JSON all come from the same ledger
+    reads and the same atomic writer, which is what makes an N-worker
+    service run byte-identical to a sequential one.
+    """
+    artifact_dicts: List[Dict[str, object]] = []
+    for name in names:
+        record = ledger.cells[name]
+        if record["state"] == DONE:
+            data = json.loads(ledger.artifact_path(name).read_text())
+            artifact_dicts.append(data)
+            result.models[name] = model_from_dict(data)
+        elif record["state"] == QUARANTINED:
+            result.quarantined[name] = list(record.get("errors", []))
+    result.metrics = ledger.metrics_total()
+    result.report = ledger.failure_report()
+    ledger.write_failure_report()
+    if output is not None:
+        result.library_path = Path(output)
+        _write_json_atomic(
+            result.library_path,
+            {"format": FORMAT_VERSION, "models": artifact_dicts},
+        )
+    return artifact_dicts
 
 
 def run_library(
@@ -511,25 +561,11 @@ def run_library(
             )
 
         def finish_success(slot: _Active) -> None:
-            metrics: Dict[str, float] = {}
-            seconds = 0.0
-            sidecar = ledger.sidecar_path(slot.name)
-            if sidecar.exists():
-                try:
-                    side = json.loads(sidecar.read_text())
-                    seconds = float(side.get("seconds", 0.0))
-                    metrics = {
-                        k: float(v)
-                        for k, v in side.get("counters", {}).items()
-                    }
-                    if tracer.enabled:
-                        # Workers trace unconditionally when telemetry is
-                        # persisted; only absorb into a live parent tracer.
-                        tracer.absorb(
-                            side.get("spans", []), parent_id=run_span.span_id
-                        )
-                except (ValueError, json.JSONDecodeError):
-                    pass
+            seconds, metrics, spans = read_sidecar(ledger, slot.name)
+            if spans and tracer.enabled:
+                # Workers trace unconditionally when telemetry is
+                # persisted; only absorb into a live parent tracer.
+                tracer.absorb(spans, parent_id=run_span.span_id)
             ledger.mark_done(slot.name, seconds=seconds, metrics=metrics)
             # Merge worker counters exactly once: at the done transition.
             # Resumed sessions read completed cells from the ledger and
@@ -680,27 +716,8 @@ def run_library(
         if store is not None:
             purge_stale_tmp(store.obs_dir)
 
-        # ------------------------------------------------------------------
         # Assemble the (possibly partial) library from the checkpoints.
-        # ------------------------------------------------------------------
-        artifact_dicts: List[Dict[str, object]] = []
-        for name in names:
-            record = ledger.cells[name]
-            if record["state"] == DONE:
-                data = json.loads(ledger.artifact_path(name).read_text())
-                artifact_dicts.append(data)
-                result.models[name] = model_from_dict(data)
-            elif record["state"] == QUARANTINED:
-                result.quarantined[name] = list(record.get("errors", []))
-        result.metrics = ledger.metrics_total()
-        result.report = ledger.failure_report()
-        ledger.write_failure_report()
-        if output is not None:
-            result.library_path = Path(output)
-            _write_json_atomic(
-                result.library_path,
-                {"format": FORMAT_VERSION, "models": artifact_dicts},
-            )
+        assemble_run_result(ledger, names, result, output)
         run_span.set("done", len(result.models))
         run_span.set("quarantined", len(result.quarantined))
         run_span.set("resumed", len(result.resumed))

@@ -1,0 +1,44 @@
+"""Coordinator/worker characterization service over a shared run directory.
+
+:mod:`repro.service` splits the resilient runner
+(:func:`repro.resilience.runner.run_library`) into a single-writer
+**coordinator** (:func:`~repro.service.coordinator.serve`) and any
+number of stateless **workers**
+(:func:`~repro.service.worker.worker_loop`) that coordinate purely
+through the run directory: workers lease pending cells via atomic claim
+files (:mod:`~repro.service.lease`), commit finished models through a
+content-addressed store with an exclusive hardlink
+(:func:`~repro.service.worker.commit_artifact`), and the coordinator
+owns every ledger transition, lease expiry and the retry/quarantine
+budget.  The thin job API (:func:`~repro.service.api.submit_library` →
+``poll``/``stream`` → ``fetch_models``) lets clients drive a run from
+any process that sees the directory.
+
+The contract, enforced by the chaos and property suites: models,
+``failures.json`` and ``metrics_total()`` from an N-worker run — even
+one with workers SIGKILLed mid-lease — are byte-identical to a
+sequential run's.
+"""
+
+from repro.service.api import (
+    Job,
+    JobManifest,
+    JobStatus,
+    submit_library,
+)
+from repro.service.coordinator import serve
+from repro.service.lease import DEFAULT_TTL, Lease, LeaseStore
+from repro.service.worker import commit_artifact, worker_loop
+
+__all__ = [
+    "DEFAULT_TTL",
+    "Job",
+    "JobManifest",
+    "JobStatus",
+    "Lease",
+    "LeaseStore",
+    "commit_artifact",
+    "serve",
+    "submit_library",
+    "worker_loop",
+]

@@ -339,6 +339,10 @@ def test_catalog_matches_defining_modules():
     import repro.obs.store as obs_store
     import repro.obs.trace as obs_trace
     import repro.resilience.runner as runner
+    import repro.service.api as service_api
+    import repro.service.coordinator as service_coordinator
+    import repro.service.lease as service_lease
+    import repro.service.worker as service_worker
     import repro.simulation.engine as engine
     import repro.simulation.packed as packed
     import repro.simulation.phasecache as phasecache
@@ -347,6 +351,7 @@ def test_catalog_matches_defining_modules():
     modules = (
         stats, runner, engine, phasecache, planstore, throughput,
         packed, obs_store, obs_inspect, obs_trace, learning_engine,
+        service_api, service_coordinator, service_lease, service_worker,
     )
     for module in modules:
         for attr in dir(module):

@@ -19,8 +19,11 @@ import pytest
 
 from repro.cli import main
 from repro.library import SOI28, build_cell
+from repro.obs.store import RunTelemetry
+from repro.resilience.faults import FaultPlan, FaultRule
 from repro.resilience.ledger import RunLedger
 from repro.resilience.runner import run_library
+from repro.service import serve, submit_library
 from repro.spice import parse_library, write_library
 
 ROOT = Path(__file__).resolve().parents[1]
@@ -187,3 +190,171 @@ def _ledger_cells(run_dir):
         return json.loads(path.read_text()).get("cells", {})
     except (ValueError, json.JSONDecodeError):
         return {}
+
+
+# ----------------------------------------------------------------------
+# Service chaos: kill leased workers, diff against the sequential bytes
+# ----------------------------------------------------------------------
+
+
+def _spawn_worker(run_dir, owner):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            str(run_dir),
+            "--owner",
+            owner,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _attempt_outcomes(run_dir, name):
+    """(attempt, outcome) pairs of every telemetry shard of *name*."""
+    tel = RunTelemetry.load(run_dir)
+    return [
+        (int(shard["attempt"]), str(shard["outcome"]))
+        for shard in tel.attempts_for(name)
+    ]
+
+
+class TestServiceWorkerSigkill:
+    def test_sigkilled_worker_cell_releases_once_byte_identical(
+        self, tmp_path, cells, baseline_bytes
+    ):
+        """SIGKILL a live worker subprocess mid-lease.
+
+        The orphaned lease must expire, the coordinator must re-lease
+        the cell exactly once, and the final library bytes must match an
+        uninterrupted sequential run.
+        """
+        run_dir = tmp_path / "run"
+        output = tmp_path / "library.json"
+        job = submit_library(cells, run_dir, lease_ttl=1.0, retries=1)
+        artifacts = {
+            name: run_dir / "models" / f"{name}-{key}.json"
+            for name, key in job.manifest.keyed()
+        }
+        worker = _spawn_worker(run_dir, owner="victim")
+        victim = None
+        try:
+            deadline = time.monotonic() + 120
+            lease_dir = run_dir / "leases"
+            while time.monotonic() < deadline:
+                if worker.poll() is not None:
+                    pytest.fail("worker finished before it could be killed")
+                live = [
+                    path.stem
+                    for path in sorted(lease_dir.glob("*.json"))
+                    if path.stem in artifacts
+                    and not artifacts[path.stem].exists()
+                ] if lease_dir.is_dir() else []
+                if live:
+                    victim = live[0]
+                    break
+                time.sleep(0.002)
+            else:
+                pytest.fail("worker never claimed a lease within 120s")
+            os.kill(worker.pid, signal.SIGKILL)
+        finally:
+            worker.wait()
+        assert worker.returncode == -signal.SIGKILL
+        # The kill left an orphan: the claim file still blocks the cell,
+        # its holder is dead, and only lease expiry can free it.
+        assert (run_dir / "leases" / f"{victim}.json").exists()
+        assert not artifacts[victim].exists()
+
+        result = serve(run_dir, workers=2, output=output)
+        assert result.complete
+        assert not result.quarantined
+        assert output.read_bytes() == baseline_bytes
+
+        # Re-leased exactly once: the lifetime record of the victim cell
+        # is one expired-lease crash followed by one clean attempt.
+        record = RunLedger.load(run_dir).cells[victim]
+        errors = record.get("errors", [])
+        assert len(errors) == 1
+        assert errors[0]["kind"] == "crash"
+        assert "lease expired" in errors[0]["error"]
+        assert int(record["attempts"]) == 2
+        assert _attempt_outcomes(run_dir, victim) == [
+            (0, "crash"),
+            (1, "ok"),
+        ]
+        # every other cell was characterized on the first attempt
+        for name, cell_record in RunLedger.load(run_dir).cells.items():
+            if name != victim:
+                assert int(cell_record["attempts"]) == 1
+                assert not cell_record.get("errors")
+
+    def test_crash_fault_killed_worker_is_respawned_and_converges(
+        self, tmp_path, cells, baseline_bytes
+    ):
+        """A crash fault exits the whole worker process mid-lease.
+
+        The coordinator must reap the expired lease, respawn a local
+        worker, retry the cell within budget, and still produce the
+        sequential bytes — with the dead attempt visible in the
+        reconciled telemetry.
+        """
+        run_dir = tmp_path / "run"
+        output = tmp_path / "library.json"
+        plan = FaultPlan(
+            rules=[FaultRule(cell="S28_NAND2X1", mode="crash", attempts=(0,))]
+        )
+        submit_library(
+            cells, run_dir, lease_ttl=1.0, retries=1, fault_plan=plan
+        )
+        result = serve(run_dir, workers=2, output=output)
+        assert result.complete
+        assert not result.quarantined
+        assert output.read_bytes() == baseline_bytes
+
+        record = RunLedger.load(run_dir).cells["S28_NAND2X1"]
+        errors = record.get("errors", [])
+        assert len(errors) == 1
+        assert errors[0]["kind"] == "crash"
+        assert int(record["attempts"]) == 2
+        assert _attempt_outcomes(run_dir, "S28_NAND2X1") == [
+            (0, "crash"),
+            (1, "ok"),
+        ]
+        tel = RunTelemetry.load(run_dir)
+        assert tel.reconcile() == []
+        # the lease expiry is on the record (merged worker/session events)
+        expired = [
+            event
+            for event in tel.merged_events()
+            if event.get("event") == "lease.expired"
+        ]
+        assert len(expired) == 1
+        assert expired[0]["cell"] == "S28_NAND2X1"
+
+        # publish the service chaos artifacts for the CI `distributed`
+        # job's upload (same idiom as CHAOS_failure_report.json)
+        (ROOT / "SERVICE_failure_report.json").write_text(
+            (run_dir / "failures.json").read_text()
+        )
+        (ROOT / "SERVICE_run_telemetry.json").write_text(
+            json.dumps(
+                {
+                    "attempts": tel.attempts,
+                    "workers": tel.workers,
+                    "worker_counters": tel.worker_counters(),
+                    "counters_by_cell": tel.counters_by_cell(),
+                    "lease_expiries": expired,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
