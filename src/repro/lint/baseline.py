@@ -7,9 +7,10 @@ gate can be ratcheted: new findings fail CI immediately, old ones are
 burned down file by file and disappear from the baseline as they are
 fixed (rewrite it with ``--write-baseline`` after a cleanup).
 
-Fingerprints hash the rule id, path, offending line *text* and an
-occurrence index — not the line number — so a baseline survives edits
-elsewhere in the file (see :mod:`repro.lint.findings`).
+Fingerprints hash the rule id, the offending line *text* and an
+occurrence index — not the line number, and (since format 2) not the
+path — so a baseline survives edits elsewhere in the file *and* file
+moves (see :mod:`repro.lint.findings`).
 """
 
 from __future__ import annotations
@@ -20,7 +21,8 @@ from typing import List, Sequence, Set, Tuple, Union
 
 from repro.lint.findings import Finding
 
-BASELINE_FORMAT = 1
+#: format 2 dropped the path from fingerprints (move-stable baselines)
+BASELINE_FORMAT = 2
 
 
 def write_baseline(

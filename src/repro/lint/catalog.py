@@ -15,7 +15,8 @@ the copy against rot: every ``M_*`` constant in
 :mod:`repro.simulation.engine`, :mod:`repro.simulation.phasecache`,
 :mod:`repro.simulation.packed`, :mod:`repro.camodel.planstore`,
 :mod:`repro.camodel.throughput`, :mod:`repro.obs.store`,
-:mod:`repro.obs.inspect`, :mod:`repro.learning.engine` and the
+:mod:`repro.obs.inspect`, :mod:`repro.learning.engine`,
+:mod:`repro.lint.program.driver` and the
 :mod:`repro.service` modules must appear in :data:`METRIC_NAMES`, and
 every ``E_*`` constant in :mod:`repro.obs.trace` / :mod:`repro.obs.store`
 in :data:`EVENT_NAMES`.
@@ -49,6 +50,7 @@ NAMESPACES: FrozenSet[str] = frozenset(
         "learning",
         "service",
         "lease",
+        "lint",
     }
 )
 
@@ -114,6 +116,11 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "service.commit_races",
         "service.discards",
         "service.workers_spawned",
+        # whole-program lint driver (repro.lint.program.driver)
+        "lint.program.modules",
+        "lint.program.cache_hits",
+        "lint.program.cache_misses",
+        "lint.program.findings",
     }
 )
 

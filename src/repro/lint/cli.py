@@ -3,7 +3,14 @@
 Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule/format,
 unreadable baseline).  Reports go straight to stdout (this module *is*
 a sanctioned console sink — it renders the report the way the text/
-JSON/SARIF reporter produced it, with no obs indirection).
+JSON/SARIF reporter produced it, with no obs indirection);
+``--timings`` writes its one stats line to stderr so the stdout
+JSON/SARIF contract is unchanged.
+
+``--program`` adds the whole-program pack (RPL101..RPL106, see
+:mod:`repro.lint.program`) to the run: one merged report, one SARIF,
+one baseline — program findings ride the same machinery as per-file
+ones.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.config import LintConfig
@@ -67,6 +74,34 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="RPL0xx",
         help="print one rule's full rationale and exit",
     )
+    parser.add_argument(
+        "--program",
+        action="store_true",
+        help="also run the whole-program pack (RPL101..RPL106)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="parse/check files with N worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="program-analysis cache directory "
+        "(default: .reprolint-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the program-analysis cache for this run",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print a one-line timing/cache-stats summary to stderr",
+    )
 
 
 def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
@@ -78,11 +113,36 @@ def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
     return out
 
 
+def _split_selection(
+    ids: Optional[List[str]], program: bool
+) -> Tuple[Optional[List[str]], Optional[List[str]]]:
+    """Split rule ids between the per-file and program registries."""
+    from repro.lint.program.rules import program_rules
+
+    if ids is None:
+        return None, None
+    perfile_known = {r.id for r in all_rules()}
+    program_known = {r.id for r in program_rules()}
+    perfile = [i for i in ids if i in perfile_known]
+    prog = [i for i in ids if i in program_known]
+    unknown = [i for i in ids if i not in perfile_known | program_known]
+    if unknown:
+        raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+    if prog and not program:
+        raise ValueError(
+            f"rule ids {', '.join(sorted(prog))} belong to the "
+            "whole-program pack; pass --program"
+        )
+    return perfile, prog
+
+
 def run(args: argparse.Namespace) -> int:
+    from repro.lint.program.rules import program_rules
+
     out = sys.stdout
     if args.list_rules:
-        for rule in all_rules():
-            out.write(f"{rule.id}  {rule.name:<22} {rule.summary}\n")
+        for rule in list(all_rules()) + list(program_rules()):
+            out.write(f"{rule.id}  {rule.name:<24} {rule.summary}\n")
         return 0
     if args.explain:
         rule = get_rule(args.explain)
@@ -93,7 +153,13 @@ def run(args: argparse.Namespace) -> int:
         out.write(rule.rationale + "\n")
         return 0
     try:
-        rules = select_rules(_split_ids(args.select), _split_ids(args.ignore))
+        select_perfile, select_prog = _split_selection(
+            _split_ids(args.select), args.program
+        )
+        ignore_perfile, ignore_prog = _split_selection(
+            _split_ids(args.ignore), args.program
+        )
+        rules = select_rules(select_perfile, ignore_perfile)
     except ValueError as exc:
         sys.stderr.write(f"error: {exc}\n")
         return USAGE_ERROR
@@ -101,7 +167,36 @@ def run(args: argparse.Namespace) -> int:
     if missing:
         sys.stderr.write(f"error: no such path: {', '.join(missing)}\n")
         return USAGE_ERROR
-    findings = run_lint([Path(p) for p in args.paths], rules, LintConfig())
+    config = LintConfig()
+    report_rules = list(rules)
+    if args.program:
+        from repro.lint.program.driver import (
+            DEFAULT_CACHE_DIR,
+            run_program_lint,
+        )
+
+        prog_ids = [
+            r.id
+            for r in program_rules()
+            if (select_prog is None or r.id in set(select_prog))
+            and (not ignore_prog or r.id not in set(ignore_prog))
+        ]
+        findings, stats = run_program_lint(
+            [Path(p) for p in args.paths],
+            rules,
+            config,
+            program_rule_ids=prog_ids,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+            use_cache=not args.no_cache,
+        )
+        report_rules += [r for r in program_rules() if r.id in set(prog_ids)]
+        if args.timings:
+            sys.stderr.write(stats.render() + "\n")
+    else:
+        findings = run_lint(
+            [Path(p) for p in args.paths], rules, config, jobs=args.jobs
+        )
     if args.write_baseline:
         path = write_baseline(args.write_baseline, findings)
         out.write(
@@ -116,7 +211,7 @@ def run(args: argparse.Namespace) -> int:
             sys.stderr.write(f"error: cannot read baseline: {exc}\n")
             return USAGE_ERROR
         findings, baselined = apply_baseline(findings, fingerprints)
-    report = render(findings, rules, args.fmt)
+    report = render(findings, report_rules, args.fmt)
     if report:
         out.write(report + "\n")
     if args.fmt == "text" and baselined:

@@ -9,14 +9,16 @@ in a real run and ``tests/lint_corpus/resilience/...`` in the fixture
 corpus (the corpus mirrors the scoped directory names on purpose).
 
 Site allowlists use ``<path-pattern>::<qualname>`` — e.g.
-``*/resilience/ledger.py::RunLedger.open`` sanctions wall-clock reads
-inside that one method (the ledger's ``created`` stamp lives in
-``ledger.json``, never in a canonical artifact).
+``*/camodel/io.py::_write_json_atomic`` sanctions the raw write inside
+the one blessed atomic-writer implementation.  The whole-program pack
+(``repro.lint.program``) deliberately has *no* site allowlists: its
+fields below declare semantic roles (sinks, sanitizers, protocol
+parties) and the dataflow engine proves what reaches them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from fnmatch import fnmatch
 from typing import Tuple
 
@@ -29,10 +31,11 @@ def match_path(path: str, pattern: str) -> bool:
 def site_allowed(
     path: str, qualname: str, allowlist: Tuple[str, ...]
 ) -> bool:
-    """True when ``path::qualname`` matches an allowlist entry.
+    """True when ``path::qualname`` matches a sanctioned-site entry.
 
-    The qualname side matches exactly, or as a prefix (allowing
-    ``RunLedger.open`` to also cover nested helpers defined inside it).
+    Used for *implementation* roles (the atomic writer helpers are the
+    one place allowed to write non-atomically).  The qualname side
+    matches exactly, or as a prefix so nested helpers are covered.
     """
     for entry in allowlist:
         pattern, _, allowed_qual = entry.partition("::")
@@ -67,19 +70,17 @@ class LintConfig:
     #: nothing to configure: seeded generator objects are always the fix
 
     # -- RPL004 wall-clock -----------------------------------------------
-    #: modules reachable from canonical-artifact construction
+    #: modules reachable from canonical-artifact construction.  The
+    #: ledger is deliberately *not* listed: the whole-program pack's
+    #: RPL101 tracks its wall-clock reads by dataflow instead, and has
+    #: proven that ``RunLedger.open``'s ``created`` stamp only ever
+    #: reaches ``ledger.json`` (not canonical) — the old
+    #: ``RunLedger.open`` site allowlist is retired.
     wallclock_paths: Tuple[str, ...] = (
         "*/camodel/io.py",
         "*/camodel/merge.py",
         "*/camodel/model.py",
-        "*/resilience/ledger.py",
         "*/experiments/cache.py",
-    )
-    #: sanctioned timing sites inside those modules
-    wallclock_allowed: Tuple[str, ...] = (
-        # the ledger's own `created` stamp: real wall-clock by design —
-        # it lives in ledger.json, which is not a canonical artifact
-        "*/resilience/ledger.py::RunLedger.open",
     )
 
     # -- RPL005 atomic-write ---------------------------------------------
@@ -102,15 +103,68 @@ class LintConfig:
     #: dataclasses treated as cross-process worker payloads
     payload_suffixes: Tuple[str, ...] = ("Payload", "WorkItem")
 
+    # ---------------------------------------------------------------
+    # Whole-program pack (RPL101..RPL106).  These are *semantic role
+    # declarations* — which callables hash content, sanitize taint, or
+    # commit artifacts — not violation allowlists; the dataflow engine
+    # decides what actually reaches them.  Patterns are fnmatch globs
+    # over dotted callable names as resolved by the project graph
+    # (``repro.service.worker.commit_artifact``), so corpus fixtures
+    # match via the ``*.`` prefix.
+    # ---------------------------------------------------------------
+
+    # -- RPL101 taint-into-artifacts --------------------------------------
+    #: content-hash sinks: tainted bytes here poison content keys
+    taint_hash_sinks: Tuple[str, ...] = (
+        "hashlib.sha256",
+        "hashlib.sha1",
+        "hashlib.sha512",
+        "hashlib.md5",
+        "hashlib.blake2b",
+        "hashlib.new",
+    )
+    #: canonical-artifact commit sinks: tainted values here end up in
+    #: content-addressed artifacts that must be byte-identical on rerun
+    canonical_commit_sinks: Tuple[str, ...] = ("*.commit_artifact",)
+    #: callables whose return value is clean regardless of inputs
+    #: (they zero every nondeterministic field)
+    taint_sanitizers: Tuple[str, ...] = ("*.canonical_model_dict",)
+
+    # -- RPL104 lease/commit discipline -----------------------------------
+    #: service-layer modules where the protocol rules apply
+    service_paths: Tuple[str, ...] = ("*/service/*",)
+    #: class names treated as the run ledger
+    ledger_types: Tuple[str, ...] = ("RunLedger",)
+    #: RunLedger methods that mutate ledger state
+    ledger_mutators: Tuple[str, ...] = (
+        "open",
+        "save",
+        "mark_running",
+        "mark_done",
+        "record_failure",
+        "mark_quarantined",
+        "recover",
+        "requeue_quarantined",
+        "write_failure_report",
+    )
+    #: the only modules allowed to mutate the ledger (the coordinator
+    #: side of the protocol; workers read with ``RunLedger.load`` only)
+    ledger_writer_paths: Tuple[str, ...] = (
+        "*/resilience/*",
+        "*/service/coordinator.py",
+        "*/service/api.py",
+    )
+
+    # -- RPL105 swallowed telemetry ---------------------------------------
+    #: callables that persist telemetry shards; a broad handler that can
+    #: silently swallow a failure on a path reaching one of these drops
+    #: observability data on the floor
+    telemetry_writer_sinks: Tuple[str, ...] = (
+        "*.write_attempt_shard",
+        "*.write_worker_shard",
+        "*.write_session",
+    )
+
     def with_extra_names(self, *names: str) -> "LintConfig":
         """Copy of this config with *names* added to the RPL002 catalog."""
-        return LintConfig(
-            exclude=self.exclude,
-            print_allowed=self.print_allowed,
-            extra_names=self.extra_names + tuple(names),
-            wallclock_paths=self.wallclock_paths,
-            wallclock_allowed=self.wallclock_allowed,
-            atomic_paths=self.atomic_paths,
-            atomic_writers=self.atomic_writers,
-            payload_suffixes=self.payload_suffixes,
-        )
+        return replace(self, extra_names=self.extra_names + tuple(names))

@@ -14,7 +14,9 @@ the violating *node* starts also applies.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -64,9 +66,27 @@ class ModuleUnit:
             self._scan_module()
 
     # ------------------------------------------------------------------
+    def _iter_comment_tokens(self) -> Iterator[Tuple[int, str]]:
+        """Yield ``(line, comment_text)`` for real comment tokens only.
+
+        Tokenizing (rather than regex-scanning raw lines) is what keeps a
+        ``# reprolint: disable=...`` *inside a string literal or docstring*
+        from acting as a suppression.  Tokenization can fail where parsing
+        would too (the file then only gets RPL000, so nothing is lost) —
+        comments seen before the error still count.
+        """
+        try:
+            for tok in tokenize.generate_tokens(
+                io.StringIO(self.text).readline
+            ):
+                if tok.type == tokenize.COMMENT:
+                    yield tok.start[0], tok.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+
     def _scan_suppressions(self) -> None:
-        for number, line in enumerate(self.lines, 1):
-            match = _SUPPRESS.search(line)
+        for number, comment in self._iter_comment_tokens():
+            match = _SUPPRESS.search(comment)
             if not match:
                 continue
             kind = match.group(1)
@@ -214,9 +234,15 @@ def all_rules() -> List[Rule]:
 
 
 def get_rule(rule_id: str) -> Optional[Rule]:
+    """Look up a rule in the per-file registry, then the program pack."""
     from repro.lint import rules  # noqa: F401
 
-    return _REGISTRY.get(rule_id)
+    rule = _REGISTRY.get(rule_id)
+    if rule is not None:
+        return rule
+    from repro.lint.program.rules import get_program_rule
+
+    return get_program_rule(rule_id)  # type: ignore[return-value]
 
 
 def select_rules(
@@ -224,7 +250,9 @@ def select_rules(
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Rule]:
     chosen = all_rules()
-    if select:
+    # [] is a real selection (e.g. --select RPL104 picks only program
+    # rules, leaving zero per-file ones); only None means "everything"
+    if select is not None:
         wanted = set(select)
         unknown = wanted - {r.id for r in chosen}
         if unknown:
@@ -285,18 +313,53 @@ def check_unit(
     return findings
 
 
+def _lint_file_worker(
+    item: Tuple[str, str, Optional[Tuple[str, ...]], LintConfig]
+) -> List[Finding]:
+    """Process-pool worker: lint one file (module-level, so picklable)."""
+    path_str, display, rule_ids, config = item
+    path = Path(path_str)
+    unit = ModuleUnit(path, display, path.read_text())
+    if rule_ids is None:
+        chosen: Sequence[Rule] = all_rules()
+    else:
+        chosen = [r for r in all_rules() if r.id in rule_ids]
+    return check_unit(unit, chosen, config)
+
+
 def run_lint(
     paths: Sequence[Path],
     rules: Optional[Sequence[Rule]] = None,
     config: Optional[LintConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[Finding]:
-    """Lint every Python file under *paths*; returns ordered findings."""
+    """Lint every Python file under *paths*; returns ordered findings.
+
+    With ``jobs > 1`` the files are parsed and checked in a process
+    pool; results come back in file order, so output is identical to a
+    serial run.
+    """
     config = config if config is not None else LintConfig()
     chosen = list(rules) if rules is not None else all_rules()
+    files = [
+        (path, display)
+        for path, display in iter_python_files(paths)
+        if not any(match_path(display, pat) for pat in config.exclude)
+    ]
     findings: List[Finding] = []
-    for path, display in iter_python_files(paths):
-        if any(match_path(display, pat) for pat in config.exclude):
-            continue
-        unit = ModuleUnit(path, display, path.read_text())
-        findings.extend(check_unit(unit, chosen, config))
+    registered = {r.id for r in all_rules()}
+    if jobs and jobs > 1 and len(files) > 1 and all(
+        r.id in registered for r in chosen
+    ):
+        from concurrent.futures import ProcessPoolExecutor
+
+        ids = tuple(sorted(r.id for r in chosen))
+        items = [(str(path), display, ids, config) for path, display in files]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for batch in pool.map(_lint_file_worker, items, chunksize=4):
+                findings.extend(batch)
+    else:
+        for path, display in files:
+            unit = ModuleUnit(path, display, path.read_text())
+            findings.extend(check_unit(unit, chosen, config))
     return number_occurrences(findings)

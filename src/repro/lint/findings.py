@@ -2,17 +2,22 @@
 
 A finding is one rule violation at one source location.  Its
 *fingerprint* is what the baseline mechanism stores: a hash over the
-rule id, the file's path relative to the lint root, the normalized text
-of the offending line, and the occurrence index of that (rule, line
-text) pair within the file.  Line *numbers* are deliberately excluded so
-a baseline survives unrelated edits above the finding; the occurrence
-index keeps two identical offending lines distinguishable.
+rule id, the normalized text of the offending line, and the occurrence
+index of that (rule, line text) pair across the whole run.  Line
+*numbers* are deliberately excluded so a baseline survives unrelated
+edits above the finding, and the *path* is excluded so moving a file
+(a display-path change only) does not orphan its baseline entries.
+The occurrence index keeps identical offending lines distinguishable;
+because it is assigned globally, the *set* of fingerprints produced by
+a run is invariant under file renames (the multiset of offending lines
+is unchanged, so the numbering 0..k-1 is too, whichever files the
+lines now live in).
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 
@@ -36,7 +41,7 @@ class Finding:
     @property
     def fingerprint(self) -> str:
         blob = "\x1f".join(
-            (self.rule_id, self.path, self.line_text.strip(), str(self.occurrence))
+            (self.rule_id, self.line_text.strip(), str(self.occurrence))
         )
         return hashlib.sha256(blob.encode()).hexdigest()[:20]
 
@@ -59,24 +64,50 @@ class Finding:
 
 
 def number_occurrences(findings: List[Finding]) -> List[Finding]:
-    """Assign occurrence indices so identical findings fingerprint apart."""
+    """Assign occurrence indices so identical findings fingerprint apart.
+
+    Numbering is global across the run (not per file): the fingerprint
+    omits the path, so keying occurrences on ``(rule, line text)`` alone
+    keeps the run's fingerprint *set* stable when a file moves.
+    """
     seen: Dict[object, int] = {}
     out: List[Finding] = []
     for f in findings:
-        key = (f.rule_id, f.path, f.line_text.strip())
+        key = (f.rule_id, f.line_text.strip())
         index = seen.get(key, 0)
         seen[key] = index + 1
         if index != f.occurrence:
-            f = Finding(
-                rule_id=f.rule_id,
-                rule_name=f.rule_name,
-                path=f.path,
-                line=f.line,
-                col=f.col,
-                message=f.message,
-                line_text=f.line_text,
-                occurrence=index,
-                extra=f.extra,
-            )
+            f = replace(f, occurrence=index)
         out.append(f)
     return out
+
+
+def finding_to_cache_dict(f: Finding) -> Dict[str, object]:
+    """Full round-trippable form (unlike :meth:`Finding.to_dict`)."""
+    out: Dict[str, object] = {
+        "rule_id": f.rule_id,
+        "rule_name": f.rule_name,
+        "path": f.path,
+        "line": f.line,
+        "col": f.col,
+        "message": f.message,
+        "line_text": f.line_text,
+        "occurrence": f.occurrence,
+    }
+    if f.extra:
+        out["extra"] = dict(f.extra)
+    return out
+
+
+def finding_from_cache_dict(data: Dict[str, object]) -> Finding:
+    return Finding(
+        rule_id=str(data["rule_id"]),
+        rule_name=str(data["rule_name"]),
+        path=str(data["path"]),
+        line=int(data["line"]),  # type: ignore[arg-type]
+        col=int(data["col"]),  # type: ignore[arg-type]
+        message=str(data["message"]),
+        line_text=str(data.get("line_text", "")),
+        occurrence=int(data.get("occurrence", 0)),  # type: ignore[arg-type]
+        extra=data.get("extra"),  # type: ignore[arg-type]
+    )

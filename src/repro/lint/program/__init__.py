@@ -1,0 +1,22 @@
+"""Whole-program analysis layer for :mod:`repro.lint`.
+
+The per-file rules (RPL001..RPL008) see one :class:`ModuleUnit` at a
+time; this package sees the project.  It builds a project-wide symbol
+table and import graph (:mod:`repro.lint.program.facts`,
+:mod:`repro.lint.program.graph`), a conservative call graph with
+annotation-driven method resolution, and a forward taint/dataflow
+engine with per-function summaries computed to a fixpoint
+(:mod:`repro.lint.program.dataflow`).  The RPL101..RPL106 rule pack
+(:mod:`repro.lint.program.rules`) runs on that substrate, and
+:mod:`repro.lint.program.driver` orchestrates extraction, caching and
+parallel parsing behind ``python -m repro lint --program``.
+"""
+
+from repro.lint.program.driver import (  # noqa: F401
+    ProgramStats,
+    run_program_lint,
+)
+from repro.lint.program.rules import (  # noqa: F401
+    get_program_rule,
+    program_rules,
+)

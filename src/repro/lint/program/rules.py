@@ -1,0 +1,583 @@
+"""The interprocedural rule pack: RPL101..RPL106.
+
+Each rule consumes the :class:`~repro.lint.program.dataflow.Analysis`
+fixpoint rather than ASTs, so every finding comes with a witness — the
+call chain the engine followed — embedded in the message and the
+``extra`` payload.  Where the per-file pack scoped risky calls with
+``path::qualname`` allowlists, these rules prove or refute the actual
+flow, so they need no site allowlists at all (suppression comments
+remain available for the rare deliberate violation, e.g. fault
+injectors).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig, match_path
+from repro.lint.findings import Finding
+from repro.lint.program.dataflow import Analysis
+from repro.lint.program.graph import Project
+from repro.lint.rules.mp import _HANDLE_MARKERS
+
+_KIND_LABELS = {
+    "wallclock": "wall-clock",
+    "rng": "RNG",
+    "iterorder": "iteration-order",
+}
+
+#: distinctive ledger-mutator names safe for the receiver-name heuristic
+#: (generic names like ``open``/``save`` require a resolved RunLedger type)
+_DISTINCTIVE_MUTATORS = frozenset(
+    {
+        "mark_running",
+        "mark_done",
+        "record_failure",
+        "mark_quarantined",
+        "recover",
+        "requeue_quarantined",
+        "write_failure_report",
+    }
+)
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+
+class ProgramRule:
+    """Base class for whole-program rules (duck-compatible with Rule)."""
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, analysis: Analysis) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(
+        self,
+        project: Project,
+        display: str,
+        line: int,
+        col: int,
+        message: str,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            rule_name=self.name,
+            path=display,
+            line=line,
+            col=col,
+            message=message,
+            line_text=project.line_text(display, line).strip(),
+            extra=extra,
+        )
+
+
+_PROGRAM_REGISTRY: Dict[str, ProgramRule] = {}
+
+
+def register_program(rule_cls: type) -> type:
+    rule = rule_cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {rule_cls.__name__} lacks an id/name")
+    if rule.id in _PROGRAM_REGISTRY:
+        raise ValueError(f"duplicate program rule id {rule.id}")
+    _PROGRAM_REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def program_rules() -> List[ProgramRule]:
+    return [_PROGRAM_REGISTRY[rule_id] for rule_id in sorted(_PROGRAM_REGISTRY)]
+
+
+def get_program_rule(rule_id: str) -> Optional[ProgramRule]:
+    return _PROGRAM_REGISTRY.get(rule_id)
+
+
+def _chain_text(chain: Tuple[str, ...]) -> str:
+    return " -> ".join(chain)
+
+
+@register_program
+class TaintIntoArtifactsRule(ProgramRule):
+    """RPL101: nondeterminism must never reach artifact content."""
+
+    id = "RPL101"
+    name = "taint-into-artifacts"
+    summary = "wall-clock/RNG/iteration-order value reaches a content hash or canonical commit"
+    rationale = (
+        "Canonical artifacts are compared, resumed and deduplicated "
+        "byte-for-byte, and content keys must be pure functions of cell "
+        "text and options.  This rule replaces the per-file wall-clock "
+        "site allowlists (RPL004's wallclock_allowed) with real "
+        "reachability: the taint engine follows wall-clock, module-"
+        "global-RNG and set-iteration-order values through assignments, "
+        "containers and any number of calls, and reports only flows "
+        "that actually arrive at a content-hash call "
+        "(config: taint_hash_sinks) or a canonical commit "
+        "(config: canonical_commit_sinks).  Sanitizers such as "
+        "canonical_model_dict (config: taint_sanitizers), which zero "
+        "every nondeterministic field, clear the taint — which is "
+        "exactly how the engine proves sites like RunLedger.open's "
+        "`created` stamp safe: its value reaches ledger.json only, "
+        "never a hash or commit, so no allowlist entry is needed."
+    )
+
+    def check(self, analysis: Analysis) -> Iterator[Finding]:
+        for (display, qual), summ in sorted(
+            analysis.summaries.items()
+        ):
+            for kind, label, line, col, chain in sorted(summ.sink_hits):
+                if kind not in _KIND_LABELS:
+                    continue
+                what, _, sink = label.partition(":")
+                if what not in ("hash", "commit"):
+                    continue
+                sink_desc = (
+                    f"content hash {sink}()"
+                    if what == "hash"
+                    else f"canonical artifact commit {sink}()"
+                )
+                yield self.finding(
+                    analysis.project,
+                    display,
+                    line,
+                    col,
+                    f"{_KIND_LABELS[kind]}-tainted value flows into "
+                    f"{sink_desc}; canonicalize (zero the field) before "
+                    f"hashing/committing [flow: {_chain_text(chain)}]",
+                    extra={"kind": kind, "sink": sink, "chain": list(chain)},
+                )
+
+
+@register_program
+class ReachableRawWriteRule(ProgramRule):
+    """RPL102: atomic-write discipline must survive helper extraction."""
+
+    id = "RPL102"
+    name = "reachable-raw-write"
+    summary = "run-dir code path reaches a non-atomic write in an unscoped module"
+    rationale = (
+        "RPL005 bans raw writes inside the run-dir modules "
+        "(config: atomic_paths), but a helper one import away can undo "
+        "the guarantee: a scoped module calling into an unscoped module "
+        "that does open(..., 'w') tears files on kill just the same.  "
+        "This rule follows the call graph from every function in a "
+        "scoped module and flags calls whose callee (transitively) "
+        "performs a non-atomic write in an *unscoped* module — writes "
+        "inside scoped modules stay RPL005's jurisdiction, so the two "
+        "rules never double-report.  Fix by routing the write through "
+        "the sanctioned atomic writers or moving it behind os.replace."
+    )
+
+    def check(self, analysis: Analysis) -> Iterator[Finding]:
+        config = analysis.config
+        project = analysis.project
+
+        def scoped(display: str) -> bool:
+            return any(
+                match_path(display, pat) for pat in config.atomic_paths
+            )
+
+        seen: Set[Tuple[str, int, str]] = set()
+        for (display, qual), res_map in sorted(analysis.resolutions.items()):
+            if not scoped(display):
+                continue
+            fn = project.by_path[display]["functions"].get(qual)
+            if fn is None:
+                continue
+            for call in fn.get("calls", ()):
+                res = res_map.get(call["index"])
+                if res is None or res.kind != "project" or res.ref is None:
+                    continue
+                if scoped(res.ref.module):
+                    continue
+                callee_sum = analysis.summaries.get(res.ref.key)
+                if callee_sum is None:
+                    continue
+                for site, chain in sorted(callee_sum.raw_reach.items()):
+                    site_display = site.split(":", 1)[0]
+                    if scoped(site_display):
+                        continue
+                    key = (display, call["line"], site)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.finding(
+                        project,
+                        display,
+                        call["line"],
+                        call["col"] + 1,
+                        f"call into {res.name}() reaches a non-atomic "
+                        f"write at {site} from a run-dir code path; "
+                        "route it through an atomic writer "
+                        f"[path: {_chain_text(chain)}]",
+                        extra={"site": site, "chain": list(chain)},
+                    )
+
+
+@register_program
+class TransitivePicklabilityRule(ProgramRule):
+    """RPL103: payloads must be picklable all the way down."""
+
+    id = "RPL103"
+    name = "transitive-picklability"
+    summary = "worker payload field reaches an open handle through nested types"
+    rationale = (
+        "RPL007 checks the annotation surface of *Payload / *WorkItem "
+        "dataclasses, but a handle nested one level down — a payload "
+        "holding a Config holding a TextIO — crosses the process "
+        "boundary just as unpicklably.  This rule resolves each payload "
+        "field's annotated type to its project class and walks the "
+        "nested field annotations (config: payload_suffixes names the "
+        "payload classes), flagging any open-handle annotation "
+        "reachable at depth >= 1; depth 0 stays RPL007's.  Ship paths "
+        "and plain data; reopen inside the worker."
+    )
+
+    def check(self, analysis: Analysis) -> Iterator[Finding]:
+        config = analysis.config
+        project = analysis.project
+        for display, facts in sorted(project.by_path.items()):
+            for cls_name, info in sorted(facts["classes"].items()):
+                if not info["is_dataclass"]:
+                    continue
+                if not any(
+                    cls_name.endswith(s) for s in config.payload_suffixes
+                ):
+                    continue
+                for fname, finfo in sorted(info["fields"].items()):
+                    chain = self._handle_chain(
+                        project, display, finfo["ann"], set(), 0
+                    )
+                    if chain is None:
+                        continue
+                    yield self.finding(
+                        project,
+                        display,
+                        finfo["line"],
+                        1,
+                        f"payload field {cls_name}.{fname} reaches an "
+                        "open handle through nested types "
+                        f"[{' -> '.join(chain)}]; handles cannot cross "
+                        "the process boundary — ship a path and reopen "
+                        "in the worker",
+                        extra={"chain": list(chain)},
+                    )
+
+    def _handle_chain(
+        self,
+        project: Project,
+        display: str,
+        annotation: str,
+        visited: Set[Tuple[str, str]],
+        depth: int,
+    ) -> Optional[List[str]]:
+        if depth >= 4:
+            return None
+        for token in _IDENT.findall(annotation):
+            cls = project.resolve_class(display, token)
+            if cls is None or cls in visited:
+                continue
+            visited.add(cls)
+            info = project.by_path[cls[0]]["classes"].get(cls[1])
+            if info is None:
+                continue
+            for fname, finfo in sorted(info["fields"].items()):
+                frame = f"{cls[1]}.{fname}: {finfo['ann']}"
+                if any(m in finfo["ann"] for m in _HANDLE_MARKERS):
+                    return [frame]
+                sub = self._handle_chain(
+                    project, cls[0], finfo["ann"], visited, depth + 1
+                )
+                if sub is not None:
+                    return [frame] + sub
+        return None
+
+
+@register_program
+class LeaseCommitDisciplineRule(ProgramRule):
+    """RPL104: the service's exactly-once protocol, checked."""
+
+    id = "RPL104"
+    name = "lease-commit-discipline"
+    summary = "service code mutates the ledger or writes artifacts outside the protocol"
+    rationale = (
+        "The characterization service's exactly-once guarantee rests on "
+        "three rules: only the coordinator side mutates the run ledger "
+        "(config: ledger_writer_paths; workers read with RunLedger.load "
+        "only), every artifact byte lands via commit_artifact's "
+        "hardlink-into-CAS rendezvous (config: canonical_commit_sinks), "
+        "and commits happen only while a lease claim is held.  This "
+        "rule checks all three over the call graph: ledger-mutator "
+        "calls (config: ledger_mutators on config: ledger_types) "
+        "resolved outside the writer modules, artifact_path-derived "
+        "values flowing into any writer other than commit_artifact "
+        "inside service modules (config: service_paths), and "
+        "commit_artifact calls in functions with no lease in scope "
+        "(no lease/claim parameter and no claim()/acquire() call — a "
+        "function-level approximation of claim dominance)."
+    )
+
+    def check(self, analysis: Analysis) -> Iterator[Finding]:
+        config = analysis.config
+        project = analysis.project
+        ledger_types = set(config.ledger_types)
+        mutators = set(config.ledger_mutators)
+        dotted_mutators = tuple(
+            f"{cls}.{m}" for cls in ledger_types for m in mutators
+        )
+        for (display, qual), res_map in sorted(analysis.resolutions.items()):
+            fn = project.by_path[display]["functions"].get(qual)
+            if fn is None:
+                continue
+            in_service = any(
+                match_path(display, pat) for pat in config.service_paths
+            )
+            may_write_ledger = any(
+                match_path(display, pat)
+                for pat in config.ledger_writer_paths
+            )
+            is_commit_impl = any(
+                qual.rsplit(".", 1)[-1] == pat.rsplit(".", 1)[-1]
+                for pat in config.canonical_commit_sinks
+            )
+            var_types = analysis.var_types.get((display, qual), {})
+            for call in fn.get("calls", ()):
+                res = res_map.get(call["index"])
+                if res is None:
+                    continue
+                if not may_write_ledger:
+                    mutated = self._ledger_mutation(
+                        call, res, var_types, ledger_types, mutators,
+                        dotted_mutators,
+                    )
+                    if mutated:
+                        yield self.finding(
+                            project,
+                            display,
+                            call["line"],
+                            call["col"] + 1,
+                            f"ledger mutation {mutated}() outside the "
+                            "coordinator (config: ledger_writer_paths); "
+                            "workers must treat the ledger as read-only "
+                            "and report through the coordinator",
+                        )
+                if in_service and not is_commit_impl:
+                    if analysis.roles.commit_sink(res.name or "") and not (
+                        self._claim_evidence(fn)
+                    ):
+                        yield self.finding(
+                            project,
+                            display,
+                            call["line"],
+                            call["col"] + 1,
+                            "commit_artifact() called with no lease claim "
+                            "in scope (no lease/claim parameter, no "
+                            "claim()/acquire() call); commits are only "
+                            "exactly-once while the cell's lease is held",
+                        )
+            if in_service and not is_commit_impl:
+                summ = analysis.summaries.get((display, qual))
+                if summ is None:
+                    continue
+                for kind, label, line, col, chain in sorted(summ.sink_hits):
+                    if kind != "artifactpath" or not label.startswith(
+                        "write:"
+                    ):
+                        continue
+                    yield self.finding(
+                        project,
+                        display,
+                        line,
+                        col,
+                        f"artifact path written via {label.split(':', 1)[1]}() "
+                        "instead of commit_artifact(); direct writes "
+                        "break the exactly-once CAS rendezvous "
+                        f"[flow: {_chain_text(chain)}]",
+                        extra={"chain": list(chain)},
+                    )
+
+    @staticmethod
+    def _ledger_mutation(
+        call: Dict[str, Any],
+        res: Any,
+        var_types: Dict[str, Tuple[str, str]],
+        ledger_types: Set[str],
+        mutators: Set[str],
+        dotted_mutators: Tuple[str, ...],
+    ) -> Optional[str]:
+        attr = call["callee"].get("attr") or ""
+        if res.kind == "project" and res.ref is not None:
+            qual = res.ref.qual
+            if "." in qual:
+                cls, _, meth = qual.rpartition(".")
+                if cls.rsplit(".", 1)[-1] in ledger_types and meth in mutators:
+                    return meth
+            return None
+        name = res.name or ""
+        if any(name.endswith("." + dm) or name == dm for dm in dotted_mutators):
+            return name.rsplit(".", 1)[-1]
+        if attr in mutators:
+            recv = call["callee"].get("recv_name")
+            recv_type = var_types.get(recv) if recv else None
+            if recv_type is not None and recv_type[1] in ledger_types:
+                return attr
+            if (
+                attr in _DISTINCTIVE_MUTATORS
+                and recv
+                and (recv == "ledger" or recv.endswith("_ledger"))
+            ):
+                return attr
+        return None
+
+    @staticmethod
+    def _claim_evidence(fn: Dict[str, Any]) -> bool:
+        for param in fn.get("params", ()):
+            if "lease" in param or "claim" in param:
+                return True
+        for ann in fn.get("param_annotations", {}).values():
+            if "Lease" in ann:
+                return True
+        for call in fn.get("calls", ()):
+            attr = call["callee"].get("attr") or (
+                call["callee"].get("name") or ""
+            ).rsplit(".", 1)[-1]
+            if attr in ("claim", "acquire", "heartbeat"):
+                return True
+        return False
+
+
+@register_program
+class SwallowedTelemetryRule(ProgramRule):
+    """RPL105: silent except around telemetry-shard writes."""
+
+    id = "RPL105"
+    name = "swallowed-telemetry"
+    summary = "broad except silently swallows failures on a telemetry-write path"
+    rationale = (
+        "Telemetry shards are the only durable record of what a run "
+        "did; a `except Exception: pass` wrapped (however indirectly) "
+        "around a shard write means a full disk or serialization bug "
+        "silently drops the evidence.  RPL008 already demands broad "
+        "handlers re-raise or emit; this rule is its interprocedural "
+        "sharpening for telemetry: it flags only broad handlers that "
+        "neither re-raise nor emit *and* whose try body (transitively) "
+        "reaches a shard writer (config: telemetry_writer_sinks), so "
+        "ordinary defensive handlers stay unflagged."
+    )
+
+    def check(self, analysis: Analysis) -> Iterator[Finding]:
+        project = analysis.project
+        roles = analysis.roles
+        for (display, qual), res_map in sorted(analysis.resolutions.items()):
+            fn = project.by_path[display]["functions"].get(qual)
+            if fn is None:
+                continue
+            for handler in fn.get("handlers", ()):
+                if handler["raises"] or handler["emits"]:
+                    continue
+                start, end = handler["try_calls"]
+                witness: Optional[Tuple[str, ...]] = None
+                for index in range(start, end):
+                    call = fn["calls"][index]
+                    res = res_map.get(index)
+                    if res is None:
+                        continue
+                    frame = f"{display}:{call['line']} {qual or '<module>'}"
+                    attr = call["callee"].get("attr") or ""
+                    if roles.telemetry_sink(res.name or "") or (
+                        attr and f"*.{attr}" in roles.telemetry_sinks
+                    ):
+                        witness = (frame,)
+                        break
+                    if res.kind == "project" and res.ref is not None:
+                        callee_sum = analysis.summaries.get(res.ref.key)
+                        if (
+                            callee_sum is not None
+                            and callee_sum.telemetry_reach is not None
+                        ):
+                            witness = (frame,) + callee_sum.telemetry_reach
+                            break
+                if witness is None:
+                    continue
+                yield self.finding(
+                    project,
+                    display,
+                    handler["line"],
+                    handler["col"] + 1,
+                    "broad except swallows failures on a path that "
+                    "writes telemetry shards "
+                    f"[{_chain_text(witness)}]; re-raise or emit an "
+                    "event so dropped shards leave evidence",
+                    extra={"chain": list(witness)},
+                )
+
+
+@register_program
+class CatalogLivenessRule(ProgramRule):
+    """RPL106: every registered obs name must be emitted somewhere."""
+
+    id = "RPL106"
+    name = "catalog-liveness"
+    summary = "metric/event name registered in the catalog but never emitted"
+    rationale = (
+        "RPL002 stops unregistered names at the call site; this is the "
+        "inverse: a name registered in the reprolint catalog "
+        "(METRIC_NAMES / EVENT_NAMES in */lint/catalog.py) that no "
+        "analyzed module ever emits is dead weight — usually a leftover "
+        "from a refactor, sometimes a typo'd registration shadowing the "
+        "real name.  The rule counts an emission when an obs emitter "
+        "call's name argument resolves to the string — literally, "
+        "through a module-level constant, or through an imported "
+        "constant.  It only activates when a catalog module is inside "
+        "the analyzed tree, so linting a subdirectory never "
+        "false-positives."
+    )
+
+    def check(self, analysis: Analysis) -> Iterator[Finding]:
+        project = analysis.project
+        catalogs = [
+            (display, facts["catalog"])
+            for display, facts in sorted(project.by_path.items())
+            if facts.get("catalog")
+        ]
+        if not catalogs:
+            return
+        used: Set[str] = set(analysis.config.extra_names)
+        for display, facts in project.by_path.items():
+            for fn in facts["functions"].values():
+                for name in fn.get("emit_names", ()):
+                    if name.startswith("@"):
+                        resolved = self._resolve_constant(project, name[1:])
+                        if resolved:
+                            used.add(resolved)
+                    else:
+                        used.add(name)
+        for display, decls in catalogs:
+            for decl_name, names in sorted(decls.items()):
+                for name, line in sorted(names.items()):
+                    if name in used:
+                        continue
+                    yield self.finding(
+                        project,
+                        display,
+                        line,
+                        1,
+                        f"{decl_name} entry {name!r} is never emitted by "
+                        "any analyzed module; remove the registration or "
+                        "wire up the emission",
+                    )
+
+    @staticmethod
+    def _resolve_constant(project: Project, dotted: str) -> Optional[str]:
+        display = project._module_prefix(dotted)
+        if display is None:
+            return None
+        facts = project.by_path[display]
+        remainder = dotted[len(facts["module"]) :].lstrip(".")
+        return facts["constants"].get(remainder)

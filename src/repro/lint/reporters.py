@@ -54,7 +54,7 @@ def render_sarif(
             "ruleId": f.rule_id,
             "level": "error",
             "message": {"text": f.message},
-            "partialFingerprints": {"reprolint/v1": f.fingerprint},
+            "partialFingerprints": {"reprolint/v2": f.fingerprint},
             "locations": [
                 {
                     "physicalLocation": {

@@ -12,7 +12,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional
 
-from repro.lint.config import LintConfig, match_path, site_allowed
+from repro.lint.config import LintConfig, match_path
 from repro.lint.engine import Finding, ModuleUnit, Rule, register
 from repro.lint.rules._helpers import walk_with_qualname
 
@@ -149,10 +149,12 @@ class WallClockRule(Rule):
         "byte: a killed-and-resumed run must assemble a library byte-"
         "identical to an uninterrupted one, so wall-clock values must "
         "never reach artifact bytes.  time.time()/perf_counter()/"
-        "datetime.now() are banned in the scoped modules "
-        "(config: wallclock_paths) except at allowlisted timing sites "
-        "(config: wallclock_allowed) whose output provably stays out of "
-        "canonical bytes — e.g. the run ledger's own `created` stamp."
+        "datetime.now() are banned outright in the scoped modules "
+        "(config: wallclock_paths).  There is deliberately no site "
+        "allowlist: modules with *reviewed* timing reads (the run "
+        "ledger's `created` stamp) are out of scope here and covered by "
+        "the whole-program RPL101 instead, which tracks whether the "
+        "value actually reaches hashed or committed bytes."
     )
 
     def check(self, unit: ModuleUnit, config: LintConfig) -> Iterator[Finding]:
@@ -167,17 +169,13 @@ class WallClockRule(Rule):
             dotted = self._wallclock_name(node, unit)
             if dotted is None:
                 continue
-            if site_allowed(
-                unit.display_path, qualname, config.wallclock_allowed
-            ):
-                continue
             yield self.finding(
                 unit,
                 node,
                 f"wall-clock read {dotted}() in a canonical-artifact module; "
                 "keep real timings in the ledger/obs layer and zero them in "
-                "artifact bytes (allowlist the site in wallclock_allowed if "
-                "its value provably never reaches an artifact)",
+                "artifact bytes (RPL101 tracks reviewed sites by dataflow "
+                "instead of an allowlist)",
             )
 
     @staticmethod

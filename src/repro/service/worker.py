@@ -249,7 +249,9 @@ def run_attempt(
                     # Torn/corrupt checkpoint faults exit the process
                     # inside, leaving the lease to expire — the same
                     # orphan a real mid-write SIGKILL leaves.
-                    faults.enact_artifact_fault(rule, artifact, data, name)
+                    # fault injection *exists* to violate the write
+                    # discipline the protocol rules enforce
+                    faults.enact_artifact_fault(rule, artifact, data, name)  # reprolint: disable=RPL104
                 if not beat.still_held():
                     discard("lease lost before commit")
                     return False

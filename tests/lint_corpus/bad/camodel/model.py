@@ -1,0 +1,14 @@
+"""RPL004 fixture: wall-clock reads in a canonical-artifact module.
+
+The file name mirrors ``camodel/model.py`` so the default
+``wallclock_paths`` scope applies.  There is no site allowlist any
+more: every read in a scoped module is flagged (reviewed timing sites
+live outside the scope and are policed by the whole-program RPL101).
+"""
+
+import time
+
+
+def stamp_artifact(record):
+    record["written_at"] = time.time()
+    return record

@@ -1,0 +1,16 @@
+"""Regression fixture: directives inside string literals do not count.
+
+Both violating lines below *contain* the suppression-directive text —
+but only inside a string, not in a comment.  The tokenize-based scan
+must still flag them; a regex scan over raw line text used to treat
+them as suppressed.
+"""
+
+DOC = """
+To silence a finding, append  # reprolint: disable=RPL001  to the line.
+"""
+
+
+def helper():
+    print("silence me with '# reprolint: disable=RPL001' if you dare")
+    return "# reprolint: disable=all", print("still flagged")

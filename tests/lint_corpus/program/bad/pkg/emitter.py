@@ -1,0 +1,15 @@
+"""RPL106 liveness evidence: names emitted through module constants.
+
+``svc.used`` / ``svc.event`` are referenced here, keeping them alive in
+``pkg.lint.catalog``; ``svc.dead`` has no emitter anywhere and must be
+flagged.  (The ``svc.`` namespace is unregistered on purpose — the
+per-file RPL002 findings below pin the merged two-layer report.)
+"""
+
+M_USED = "svc.used"
+E_EVT = "svc.event"
+
+
+def go(obs):
+    obs.metrics().inc(M_USED)
+    obs.events().emit(E_EVT)

@@ -1,0 +1,42 @@
+"""RPL101 fixtures: nondeterminism taint reaching a content hash.
+
+``content_key`` is the bad path (wall-clock via two call hops);
+``entropy_key`` taints through OS entropy.  The two good twins must
+stay clean: ``safe_key`` never touches a nondeterministic source, and
+``canonical_key`` routes the tainted dict through the registered
+sanitizer before hashing.
+"""
+
+import hashlib
+import json
+import os
+
+from pkg.timeutil import indirect
+
+
+def canonical_model_dict(data):
+    clean = dict(data)
+    clean.pop("at", None)
+    return clean
+
+
+def content_key(cell_text):
+    data = {"cell": cell_text, "at": indirect()}
+    blob = json.dumps(data)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def entropy_key(cell_text):
+    salt = os.urandom(8)
+    return hashlib.sha256(salt + cell_text.encode()).hexdigest()
+
+
+def safe_key(cell_text):
+    blob = json.dumps({"cell": cell_text})
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def canonical_key(cell_text):
+    data = {"cell": cell_text, "at": indirect()}
+    blob = json.dumps(canonical_model_dict(data))
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,18 @@
+"""RPL106 fixture: a catalog with one dead registration.
+
+``svc.dead`` is registered but never emitted by any module in the
+analyzed tree; the finding anchors on its own entry line.
+"""
+
+METRIC_NAMES = frozenset(
+    {
+        "svc.used",
+        "svc.dead",
+    }
+)
+
+EVENT_NAMES = frozenset(
+    {
+        "svc.event",
+    }
+)

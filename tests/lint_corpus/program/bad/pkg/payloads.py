@@ -1,0 +1,33 @@
+"""RPL103 fixtures: worker payloads must be picklable all the way down.
+
+``CellPayload.config`` (bad) reaches a ``TextIO`` two annotation hops
+deep — invisible to per-file RPL007, which only checks the payload's
+own annotation surface.  ``CleanPayload`` (good twin) nests a
+handle-free dataclass and must stay clean.
+"""
+
+from dataclasses import dataclass
+from typing import TextIO
+
+
+@dataclass
+class InnerConfig:
+    log: TextIO
+
+
+@dataclass
+class CleanConfig:
+    seed: int
+    tag: str
+
+
+@dataclass
+class CellPayload:
+    name: str
+    config: InnerConfig
+
+
+@dataclass
+class CleanWorkItem:
+    name: str
+    config: CleanConfig

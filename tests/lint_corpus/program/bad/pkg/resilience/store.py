@@ -1,0 +1,17 @@
+"""RPL102 fixture: a scoped module reaching an unscoped raw write.
+
+``checkpoint`` (bad) funnels run-dir data into ``pkg.writer.spill``,
+which writes without the temp-file + os.replace discipline.
+``summarize`` (good twin) calls into the same unscoped module but the
+callee never writes, so it must stay clean.
+"""
+
+from pkg.writer import spill, tidy
+
+
+def checkpoint(path, data):
+    spill(path, data)
+
+
+def summarize(path, data):
+    return tidy(path, data)

@@ -1,0 +1,13 @@
+"""RPL104 good twin: the coordinator *is* allowed to mutate the ledger.
+
+``*/service/coordinator.py`` is in ``ledger_writer_paths``, so this
+module must stay clean under the same analysis that flags
+``pkg.service.rogue_ledger``.
+"""
+
+from pkg.resilience.ledger import RunLedger
+
+
+def settle(path, cell):
+    ledger = RunLedger.load(path)
+    ledger.mark_done(cell)

@@ -1,0 +1,5 @@
+"""Artifact-path derivation used by the RPL104 direct-write fixture."""
+
+
+def artifact_path(run_dir, cell):
+    return run_dir / cell

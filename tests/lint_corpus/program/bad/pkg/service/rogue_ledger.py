@@ -1,0 +1,18 @@
+"""RPL104(a) fixture: ledger mutation outside the coordinator.
+
+Workers must treat the ledger as read-only; ``report`` (bad) calls a
+mutator from a module not in ``ledger_writer_paths``.  ``peek`` (good
+twin) only reads and must stay clean.
+"""
+
+from pkg.resilience.ledger import RunLedger
+
+
+def report(path, cell):
+    ledger = RunLedger.load(path)
+    ledger.mark_done(cell)
+
+
+def peek(path, cell):
+    ledger = RunLedger.load(path)
+    return ledger.cell_state(cell)

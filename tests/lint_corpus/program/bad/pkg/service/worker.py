@@ -1,0 +1,29 @@
+"""RPL104(b)/(c) fixtures: the commit rendezvous discipline.
+
+* ``rogue_write`` (bad, c): writes an artifact-path-derived target
+  directly instead of going through ``commit_artifact``.
+* ``rogue_commit`` (bad, b): commits with no lease claim in scope.
+* ``good_commit`` (good twin): same commit with the lease threaded
+  through — must stay clean.
+"""
+
+from pkg.service.paths import artifact_path
+
+
+def commit_artifact(run_dir, artifact, data):
+    return True
+
+
+def rogue_write(run_dir, cell, data):
+    artifact = artifact_path(run_dir, cell)
+    artifact.write_text(data)
+
+
+def rogue_commit(run_dir, cell, data):
+    artifact = artifact_path(run_dir, cell)
+    commit_artifact(run_dir, artifact, data)
+
+
+def good_commit(run_dir, cell, data, lease):
+    artifact = artifact_path(run_dir, cell)
+    commit_artifact(run_dir, artifact, data)

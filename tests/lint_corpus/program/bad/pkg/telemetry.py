@@ -1,0 +1,29 @@
+"""RPL105 fixtures: broad handlers that swallow telemetry-drop paths.
+
+``risky`` (bad) wraps a call chain that ends in a shard writer and
+discards the failure with no event — dropped telemetry leaves no
+evidence.  ``careful`` (good twin) guards the same chain but emits
+through the events log before continuing, so it must stay clean.
+"""
+
+
+def write_attempt_shard(path, data):
+    pass
+
+
+def persist(path, data):
+    write_attempt_shard(path, data)
+
+
+def risky(path, data):
+    try:
+        persist(path, data)
+    except Exception:
+        pass
+
+
+def careful(path, data, events):
+    try:
+        persist(path, data)
+    except Exception as exc:
+        events.warning("obs.shard_corrupt", error=str(exc))

@@ -1,4 +1,4 @@
-"""RPL004 suppression fixture (scoped path, inline disable)."""
+"""Suppressed twin of ``bad/camodel/model.py``."""
 
 import time
 

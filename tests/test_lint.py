@@ -326,6 +326,33 @@ def test_fingerprint_distinguishes_identical_lines(tmp_path):
     assert findings[0].fingerprint != findings[1].fingerprint
 
 
+def test_fingerprint_survives_file_move(tmp_path):
+    """Renaming/relocating a module must not churn the baseline."""
+    before_dir = tmp_path / "before"
+    before_dir.mkdir()
+    (before_dir / "mod.py").write_text("print('x')\nprint('x')\n")
+    before = run_lint([before_dir], select_rules(["RPL001"]))
+
+    after_dir = tmp_path / "after" / "deep" / "nested"
+    after_dir.mkdir(parents=True)
+    (after_dir / "renamed.py").write_text("print('x')\nprint('x')\n")
+    after = run_lint([after_dir], select_rules(["RPL001"]))
+
+    assert {f.fingerprint for f in before} == {f.fingerprint for f in after}
+
+
+def test_suppression_directive_inside_string_does_not_suppress(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        'print("use \'# reprolint: disable=RPL001\' to silence")\n'
+        "print('y')  # reprolint: disable=RPL001\n"
+    )
+    findings = run_lint([mod], select_rules(["RPL001"]))
+    # line 1's directive lives inside a string literal: still flagged;
+    # line 2's is a real comment: suppressed
+    assert [f.line for f in findings] == [1]
+
+
 # ----------------------------------------------------------------------
 # Catalog rot guards
 # ----------------------------------------------------------------------
@@ -335,6 +362,7 @@ def test_catalog_matches_defining_modules():
     import repro.camodel.stats as stats
     import repro.camodel.throughput as throughput
     import repro.learning.engine as learning_engine
+    import repro.lint.program.driver as lint_program_driver
     import repro.obs.inspect as obs_inspect
     import repro.obs.store as obs_store
     import repro.obs.trace as obs_trace
@@ -352,6 +380,7 @@ def test_catalog_matches_defining_modules():
         stats, runner, engine, phasecache, planstore, throughput,
         packed, obs_store, obs_inspect, obs_trace, learning_engine,
         service_api, service_coordinator, service_lease, service_worker,
+        lint_program_driver,
     )
     for module in modules:
         for attr in dir(module):

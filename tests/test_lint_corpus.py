@@ -108,3 +108,169 @@ def test_src_tree_is_lint_clean():
     assert proc.returncode == 0, (
         "`python -m repro lint src` must stay clean:\n" + proc.stdout + proc.stderr
     )
+
+
+# ----------------------------------------------------------------------
+# Whole-program pack (--program, RPL101..RPL106)
+# ----------------------------------------------------------------------
+
+PROGRAM_CORPUS = CORPUS / "program"
+
+
+def test_program_corpus_matches_golden():
+    proc = run_cli(
+        str(PROGRAM_CORPUS / "bad"), "--program", "--no-cache",
+        "--format", "json",
+    )
+    assert proc.returncode == 1, proc.stderr
+    got = json.loads(proc.stdout)
+    golden = json.loads(
+        (REPO_ROOT / PROGRAM_CORPUS / "golden.json").read_text()
+    )
+    assert got == golden, (
+        "program-lint output drifted from tests/lint_corpus/program/"
+        "golden.json; if intentional, regenerate it (see README.md)"
+    )
+
+
+def test_program_corpus_covers_every_program_rule():
+    golden = json.loads(
+        (REPO_ROOT / PROGRAM_CORPUS / "golden.json").read_text()
+    )
+    fired = {f["rule"] for f in golden["findings"]}
+    for rule_id in (
+        "RPL101", "RPL102", "RPL103", "RPL104", "RPL105", "RPL106",
+    ):
+        assert rule_id in fired, f"no program fixture triggers {rule_id}"
+    # the merged report carries per-file findings from the same run
+    assert {"RPL002", "RPL005", "RPL008"} <= fired
+
+
+def test_program_good_twins_stay_clean():
+    """Each rule's good twin must not appear in the golden findings."""
+    golden = json.loads(
+        (REPO_ROOT / PROGRAM_CORPUS / "golden.json").read_text()
+    )
+    flagged_lines = {
+        (f["path"], f["line"]) for f in golden["findings"]
+    }
+    bad_root = REPO_ROOT / PROGRAM_CORPUS / "bad"
+    for twin in (
+        "safe_key", "canonical_key", "summarize", "CleanWorkItem",
+        "good_commit", "def settle", "def peek", "def careful",
+    ):
+        hits = [
+            (path, i)
+            for path in sorted(bad_root.rglob("*.py"))
+            for i, line in enumerate(path.read_text().splitlines(), 1)
+            if twin in line and line.lstrip().startswith(("def ", "class "))
+        ]
+        assert hits, f"good twin {twin} missing from the corpus"
+        for path, line in hits:
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            assert (rel, line) not in flagged_lines, (
+                f"good twin {twin} at {rel}:{line} was flagged"
+            )
+
+
+def test_program_src_tree_is_clean():
+    """Acceptance gate: `lint --program src` exits 0."""
+    proc = run_cli("src", "--program", "--no-cache")
+    assert proc.returncode == 0, (
+        "`python -m repro lint src --program` must stay clean:\n"
+        + proc.stdout + proc.stderr
+    )
+
+
+def test_program_cache_round_trip_and_corruption(tmp_path):
+    cache = tmp_path / "cache"
+    args = (
+        str(PROGRAM_CORPUS / "bad"), "--program",
+        "--cache-dir", str(cache), "--format", "json",
+    )
+    cold = run_cli(*args)
+    assert cold.returncode == 1, cold.stderr
+    warm = run_cli(*args)
+    assert warm.returncode == 1
+    assert json.loads(warm.stdout) == json.loads(cold.stdout)
+
+    # corrupt every cache entry: the run must rebuild, not crash
+    entries = list(cache.iterdir())
+    assert entries, "cache directory is empty after a cold run"
+    for entry in entries:
+        entry.write_text("{ not json !")
+    rebuilt = run_cli(*args)
+    assert rebuilt.returncode == 1, rebuilt.stderr
+    assert json.loads(rebuilt.stdout) == json.loads(cold.stdout)
+
+
+def test_program_syntax_error_module_degrades_gracefully(tmp_path):
+    """One unparsable module: RPL000 for it, full analysis of the rest."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "broken.py").write_text("def oops(:\n")
+    (pkg / "clock.py").write_text(
+        "import time\n\ndef stamp():\n    return time.time()\n"
+    )
+    (pkg / "hasher.py").write_text(
+        "import hashlib\n\nfrom pkg.clock import stamp\n\n\n"
+        "def key(text):\n"
+        "    return hashlib.sha256(f'{text}{stamp()}'.encode()).hexdigest()\n"
+    )
+    proc = run_cli(
+        str(tmp_path), "--program", "--no-cache", "--format", "json",
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1, proc.stderr
+    rules = {f["rule"] for f in json.loads(proc.stdout)["findings"]}
+    assert "RPL000" in rules, "syntax error must surface as RPL000"
+    assert "RPL101" in rules, "healthy modules must still be analyzed"
+
+
+def test_program_jobs_matches_serial():
+    serial = run_cli(
+        str(PROGRAM_CORPUS / "bad"), "--program", "--no-cache",
+        "--format", "json",
+    )
+    parallel = run_cli(
+        str(PROGRAM_CORPUS / "bad"), "--program", "--no-cache",
+        "--jobs", "2", "--format", "json",
+    )
+    assert parallel.returncode == serial.returncode == 1
+    assert json.loads(parallel.stdout) == json.loads(serial.stdout)
+
+
+def test_jobs_perfile_matches_serial():
+    serial = run_cli(str(CORPUS / "bad"), "--format", "json")
+    parallel = run_cli(str(CORPUS / "bad"), "--jobs", "2", "--format", "json")
+    assert parallel.returncode == serial.returncode == 1
+    assert json.loads(parallel.stdout) == json.loads(serial.stdout)
+
+
+def test_program_rule_selection_and_explain():
+    proc = run_cli(
+        str(PROGRAM_CORPUS / "bad"), "--program", "--no-cache",
+        "--select", "RPL104", "--format", "json",
+    )
+    assert proc.returncode == 1
+    rules = {f["rule"] for f in json.loads(proc.stdout)["findings"]}
+    assert rules == {"RPL104"}
+
+    # a program rule id without --program is a usage error
+    proc = run_cli(str(PROGRAM_CORPUS / "bad"), "--select", "RPL104")
+    assert proc.returncode == 2
+    assert "--program" in proc.stderr
+
+    proc = run_cli("--explain", "RPL101")
+    assert proc.returncode == 0
+    assert "taint" in proc.stdout.lower()
+
+
+def test_program_string_directive_fixture_still_flagged():
+    """Satellite regression: directives inside strings do not suppress."""
+    golden = json.loads((REPO_ROOT / CORPUS / "golden.json").read_text())
+    flagged = {
+        f["path"] for f in golden["findings"] if f["rule"] == "RPL001"
+    }
+    assert "tests/lint_corpus/bad/string_directive.py" in flagged
